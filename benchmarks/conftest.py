@@ -1,0 +1,78 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+fabric (see DESIGN.md for the scaling rationale) and prints the rows in the
+same shape the paper reports, so EXPERIMENTS.md can record paper-vs-measured
+side by side.  ``pytest-benchmark`` measures the wall-clock cost of each
+scenario; simulations run exactly once (rounds=1) because a single run is
+already seconds long and deterministic for its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+#: Flow count used by benchmark scenarios (smaller than the library default
+#: so the full suite of ~20 benchmarks finishes in minutes).
+BENCH_FLOWS = 120
+#: Seed shared by all benchmark scenarios.
+BENCH_SEED = 1
+
+
+def run_scenarios(
+    benchmark,
+    configs: Dict[str, ExperimentConfig],
+) -> Dict[str, ExperimentResult]:
+    """Run every config once inside the benchmark timer and return results."""
+
+    def _run_all() -> Dict[str, ExperimentResult]:
+        return {label: run_experiment(config) for label, config in configs.items()}
+
+    return benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+
+def print_metric_table(title: str, results: Dict[str, ExperimentResult]) -> None:
+    """Print the paper's three metrics for each scheme."""
+    print(f"\n=== {title} ===")
+    print(f"{'scheme':<34} {'avg slowdown':>13} {'avg FCT (ms)':>13} {'99% FCT (ms)':>13} "
+          f"{'drop %':>7} {'pauses':>7} {'rtx':>7}")
+    for label, result in results.items():
+        summary = result.summary
+        print(f"{label:<34} {summary.avg_slowdown:>13.2f} {summary.avg_fct * 1e3:>13.4f} "
+              f"{summary.tail_fct * 1e3:>13.4f} {result.drop_rate * 100:>7.2f} "
+              f"{result.pause_frames:>7d} {result.retransmissions:>7d}")
+
+
+def print_ratio_rows(
+    title: str,
+    rows: Dict[str, Dict[str, ExperimentResult]],
+) -> None:
+    """Print appendix-style rows: IRN absolute values plus the two ratios."""
+    print(f"\n=== {title} ===")
+    print(f"{'row':<22} {'metric':<14} {'IRN':>10} {'IRN/IRN+PFC':>13} {'IRN/RoCE+PFC':>13}")
+    for row_label, schemes in rows.items():
+        irn = schemes["IRN"].summary
+        irn_pfc = schemes["IRN+PFC"].summary
+        roce_pfc = schemes["RoCE+PFC"].summary
+        metrics = [
+            ("avg slowdown", irn.avg_slowdown, irn_pfc.avg_slowdown, roce_pfc.avg_slowdown),
+            ("avg FCT", irn.avg_fct, irn_pfc.avg_fct, roce_pfc.avg_fct),
+            ("99% FCT", irn.tail_fct, irn_pfc.tail_fct, roce_pfc.tail_fct),
+        ]
+        for name, value, versus_pfc, versus_roce in metrics:
+            ratio_pfc = value / versus_pfc if versus_pfc else float("nan")
+            ratio_roce = value / versus_roce if versus_roce else float("nan")
+            print(f"{row_label:<22} {name:<14} {value:>10.4f} {ratio_pfc:>13.3f} {ratio_roce:>13.3f}")
+
+
+def assert_all_completed(results: Dict[str, ExperimentResult]) -> None:
+    """Every injected flow must have finished within the simulated horizon."""
+    for label, result in results.items():
+        assert result.completion_fraction() == pytest.approx(1.0), (
+            f"{label}: only {result.completion_fraction():.0%} of flows completed"
+        )

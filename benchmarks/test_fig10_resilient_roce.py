@@ -1,0 +1,31 @@
+"""Figure 10: Resilient RoCE (RoCE + DCQCN without PFC) vs plain IRN.
+
+Paper result: IRN without any congestion control beats Resilient RoCE because
+its loss recovery and BDP-FC handle the drops DCQCN fails to prevent under
+dynamic traffic.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig10_resilient_roce_vs_irn(benchmark):
+    configs = scenarios.fig10_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 10: Resilient RoCE vs IRN", results)
+    assert_all_completed(results)
+
+    irn = results["IRN"]
+    resilient = results["Resilient RoCE"]
+    # IRN (no CC, no PFC) at least matches Resilient RoCE on every metric.
+    assert irn.summary.avg_slowdown <= 1.1 * resilient.summary.avg_slowdown
+    assert irn.summary.avg_fct <= 1.1 * resilient.summary.avg_fct
+    # Mechanism: when DCQCN fails to avoid drops, go-back-N pays much more.
+    assert irn.retransmissions <= resilient.retransmissions or resilient.packets_dropped == 0

@@ -1,0 +1,31 @@
+"""Figure 11: iWARP's full TCP stack vs IRN.
+
+Paper result: IRN's absence of slow start (BDP-FC instead) gives 21% smaller
+average slowdown with comparable FCTs; adding TCP's AIMD to IRN improves it
+further (44% smaller slowdown, 11% smaller FCT than iWARP).
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig11_iwarp_vs_irn(benchmark):
+    configs = scenarios.fig11_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 11: iWARP (TCP stack) vs IRN", results)
+    assert_all_completed(results)
+
+    iwarp = results["iWARP"]
+    irn = results["IRN"]
+    irn_aimd = results["IRN + AIMD"]
+    # IRN (no slow start) has lower average slowdown than the TCP stack.
+    assert irn.summary.avg_slowdown <= iwarp.summary.avg_slowdown
+    # Adding AIMD on top of IRN does not make it worse than iWARP either.
+    assert irn_aimd.summary.avg_slowdown <= 1.1 * iwarp.summary.avg_slowdown

@@ -1,0 +1,31 @@
+"""Figure 12: IRN with worst-case implementation overheads (§6.3).
+
+Paper result: adding 16 bytes of extra headers to every packet and a 2 us
+PCIe fetch delay for retransmissions costs IRN only 4-7%, leaving it 35-63%
+better than RoCE (with PFC).
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig12_worst_case_overheads(benchmark):
+    configs = scenarios.fig12_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 12: IRN implementation overheads", results)
+    assert_all_completed(results)
+
+    plain = results["IRN (no overheads)"]
+    worst = results["IRN (worst-case overheads)"]
+    roce = results["RoCE (with PFC)"]
+    # The modelled overheads cost only a few percent...
+    assert worst.summary.avg_fct <= 1.15 * plain.summary.avg_fct
+    # ...and IRN stays at least competitive with the RoCE+PFC baseline.
+    assert worst.summary.avg_slowdown <= 1.1 * roce.summary.avg_slowdown

@@ -1,0 +1,31 @@
+"""Figure 1: IRN (without PFC) vs RoCE (with PFC), no explicit congestion control.
+
+Paper result: IRN is 2.8-3.7x better across average slowdown, average FCT and
+99th-percentile FCT.  At benchmark scale we expect the same ordering (IRN at
+least matches RoCE+PFC on every metric and wins on slowdown).
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig1_irn_vs_roce(benchmark):
+    configs = scenarios.fig1_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 1: IRN (no PFC) vs RoCE (PFC)", results)
+    assert_all_completed(results)
+
+    irn = results["IRN (without PFC)"]
+    roce = results["RoCE (with PFC)"]
+    # The paper's headline claim: IRN without PFC outperforms RoCE with PFC.
+    assert irn.summary.avg_slowdown <= roce.summary.avg_slowdown
+    # IRN runs on a lossy fabric (no pauses), RoCE's fabric pauses instead.
+    assert irn.pause_frames == 0
+    assert roce.packets_dropped == 0

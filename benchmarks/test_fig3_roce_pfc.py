@@ -1,0 +1,34 @@
+"""Figure 3: impact of disabling PFC with RoCE.
+
+Paper result: RoCE degrades by 1.5-3x without PFC because go-back-N loss
+recovery wastes bandwidth on redundant retransmissions.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig3_disabling_pfc_with_roce(benchmark):
+    # Run at 90% load: the cost of go-back-N on a lossy fabric grows with
+    # congestion, which is exactly the regime the paper's claim is about.
+    configs = scenarios.fig3_configs(num_flows=150, seed=BENCH_SEED, target_load=0.9)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 3: RoCE with vs without PFC", results)
+    assert_all_completed(results)
+
+    with_pfc = results["RoCE (with PFC)"]
+    without_pfc = results["RoCE without PFC"]
+    # RoCE requires PFC: completion times degrade clearly without it.  (The
+    # average slowdown, dominated by single-packet RPCs, degrades less at
+    # benchmark scale -- see EXPERIMENTS.md.)
+    assert without_pfc.summary.avg_fct > 1.2 * with_pfc.summary.avg_fct
+    assert without_pfc.summary.tail_fct > 1.2 * with_pfc.summary.tail_fct
+    assert without_pfc.summary.avg_slowdown > with_pfc.summary.avg_slowdown
+    # The mechanism: redundant go-back-N retransmissions on a lossy fabric.
+    assert without_pfc.retransmissions > 10 * max(1, with_pfc.retransmissions)

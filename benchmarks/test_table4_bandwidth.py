@@ -1,0 +1,23 @@
+"""Table 4: robustness of the basic results to the link bandwidth.
+
+Paper result (10/40/100 Gbps): the IRN-vs-RoCE+PFC advantage persists across
+bandwidths; higher bandwidths shrink the gap between lossy and lossless IRN
+because a drop's recovery round trip becomes relatively more expensive.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table4_bandwidth_sweep(benchmark):
+    table = scenarios.table4_configs(bandwidths_gbps=(5, 10, 25), num_flows=90, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 4: link bandwidth sweep", rows)
+
+    for row, schemes in rows.items():
+        assert schemes["IRN"].completion_fraction() == 1.0, row
+        assert (schemes["IRN"].summary.avg_slowdown
+                <= 1.3 * schemes["RoCE+PFC"].summary.avg_slowdown), row

@@ -1,0 +1,24 @@
+"""Table 5: robustness of the basic results to the fat-tree scale.
+
+Paper result (54/128/250 servers): the trends are unchanged as the fabric
+grows.  The benchmark compares k=4 (16 hosts) with the paper's default k=6
+(54 hosts) arity.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table5_topology_scale_sweep(benchmark):
+    table = scenarios.table5_configs(arities=(4, 6), num_flows=80, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 5: fat-tree scale sweep", rows)
+
+    for row, schemes in rows.items():
+        for label, result in schemes.items():
+            assert result.completion_fraction() == 1.0, f"{row}/{label}"
+        assert (schemes["IRN"].summary.avg_slowdown
+                <= 1.3 * schemes["RoCE+PFC"].summary.avg_slowdown), row

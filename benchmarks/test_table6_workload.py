@@ -1,0 +1,27 @@
+"""Table 6: robustness of the basic results to the workload pattern.
+
+Paper result: the key trends hold both for the default heavy-tailed RPC +
+storage mix and for a uniform medium/large-flow storage workload.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table6_workload_sweep(benchmark):
+    table = scenarios.table6_configs(num_flows=80, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 6: workload pattern sweep", rows)
+
+    for row, schemes in rows.items():
+        irn = schemes["IRN"]
+        roce = schemes["RoCE+PFC"]
+        assert irn.completion_fraction() == 1.0, row
+        assert irn.summary.avg_slowdown <= 1.3 * roce.summary.avg_slowdown, row
+    # The uniform workload has no single-packet RPCs, so its average FCT is
+    # dominated by large flows and is much higher than the heavy-tailed mix.
+    assert (rows["Uniform"]["IRN"].summary.avg_fct
+            > rows["Heavy-tailed"]["IRN"].summary.avg_fct)

@@ -1,0 +1,26 @@
+"""Table 7: robustness of the basic results to the per-port buffer size.
+
+Paper result: with smaller buffers PFC pauses more and congestion spreading
+worsens, so the penalty of enabling PFC with IRN grows; with larger buffers
+the lossy/lossless gap shrinks.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table7_buffer_size_sweep(benchmark):
+    table = scenarios.table7_configs(buffer_bytes=(15_000, 30_000, 60_000),
+                                     num_flows=90, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 7: per-port buffer size sweep", rows)
+
+    pauses_by_buffer = []
+    for row, schemes in rows.items():
+        assert schemes["IRN"].completion_fraction() == 1.0, row
+        pauses_by_buffer.append(schemes["RoCE+PFC"].pause_frames)
+    # Smaller buffers must produce at least as many pause frames as larger ones.
+    assert pauses_by_buffer[0] >= pauses_by_buffer[-1]

@@ -1,0 +1,25 @@
+"""Table 8: sensitivity of IRN to over-estimating RTO_high.
+
+Paper result: increasing RTO_high to 2x and 4x its ideal value changes the
+results only marginally -- IRN is not sensitive to the exact timeout value.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table8_rto_high_sweep(benchmark):
+    base = scenarios.default_config().effective_rto_high_s()
+    table = scenarios.table8_configs(rto_high_values_s=(base, 2 * base, 4 * base),
+                                     num_flows=90, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 8: RTO_high sweep", rows)
+
+    irn_fcts = [schemes["IRN"].summary.avg_fct for schemes in rows.values()]
+    # IRN's average FCT varies by well under 2x across a 4x RTO_high range.
+    assert max(irn_fcts) <= 2.0 * min(irn_fcts)
+    for schemes in rows.values():
+        assert schemes["IRN"].completion_fraction() == 1.0

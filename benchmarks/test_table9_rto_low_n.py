@@ -1,0 +1,22 @@
+"""Table 9: sensitivity of IRN to the in-flight threshold N for using RTO_low.
+
+Paper result: raising N from 3 to 10 or 15 produces only very small
+differences -- IRN is robust to how its timeout parameters are set.
+"""
+
+from repro.experiments import scenarios
+
+from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+
+
+def test_table9_rto_low_threshold_sweep(benchmark):
+    table = scenarios.table9_configs(n_values=(3, 10, 15), num_flows=90, seed=BENCH_SEED)
+    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
+    results = run_scenarios(benchmark, flat)
+    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
+    print_ratio_rows("Table 9: RTO_low threshold (N) sweep", rows)
+
+    irn_fcts = [schemes["IRN"].summary.avg_fct for schemes in rows.values()]
+    assert max(irn_fcts) <= 1.5 * min(irn_fcts)
+    for schemes in rows.values():
+        assert schemes["IRN"].completion_fraction() == 1.0

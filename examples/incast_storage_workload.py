@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Incast with background storage traffic (§4.4.3 of the paper).
+
+A distributed storage read stripes a response across many servers that all
+answer the same client at once -- the canonical best case for PFC, since only
+the genuinely congestion-causing flows get paused.  This example runs the
+incast with and without cross traffic and reports the request completion time
+(RCT) and the impact on the background workload.
+
+Run with::
+
+    python examples/incast_storage_workload.py
+"""
+
+from repro.experiments import scenarios
+from repro.experiments.runner import run_experiment
+
+
+def run_set(label: str, configs) -> None:
+    print(f"\n=== {label} ===")
+    print(f"{'scheme':<22} {'incast RCT (ms)':>16} {'bg avg slowdown':>16} {'drops':>7} {'pauses':>7}")
+    for name, config in configs.items():
+        result = run_experiment(config)
+        rct = result.incast_rct_s * 1e3 if result.incast_rct_s is not None else float("nan")
+        background = result.background_summary
+        bg_slowdown = background.avg_slowdown if background is not None else float("nan")
+        print(f"{name:<22} {rct:>16.3f} {bg_slowdown:>16.2f} "
+              f"{result.packets_dropped:>7d} {result.pause_frames:>7d}")
+
+
+def main() -> None:
+    # Pure incast: vary the fan-in (Figure 9's x axis).
+    pure = scenarios.fig9_configs(fan_ins=(5, 10), total_bytes=2_000_000)
+    print("Pure incast (no cross traffic): RCT of the striped request")
+    print(f"{'scheme':<14} {'RCT (ms)':>10}")
+    rcts = {}
+    for name, config in pure.items():
+        result = run_experiment(config)
+        rcts[name] = result.incast_rct_s
+        print(f"{name:<14} {result.incast_rct_s * 1e3:>10.3f}")
+    for fan_in in (5, 10):
+        ratio = rcts[f"IRN M={fan_in}"] / rcts[f"RoCE M={fan_in}"]
+        print(f"  fan-in {fan_in}: IRN/RoCE RCT ratio = {ratio:.3f} "
+              f"(paper: within a few percent of 1.0)")
+
+    # Incast sharing the fabric with a 50%-load background workload.
+    run_set(
+        "Incast with cross traffic (50% background load)",
+        scenarios.incast_with_cross_traffic_configs(fan_in=8, total_bytes=1_500_000, num_flows=80),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""NIC hardware budget for IRN (§6 of the paper).
+
+Answers the implementability question for a NIC architect: how much extra
+state, chip area and latency does IRN add to a RoCE NIC, and does it keep the
+message rate?  The script regenerates the §6.1 state accounting, the Table 2
+FPGA synthesis estimates (40 Gbps and 100 Gbps bitmaps) and the Table 1 raw
+NIC comparison including an IRN row.
+
+Run with::
+
+    python examples/nic_hardware_budget.py
+"""
+
+from repro.hw.fpga_model import FpgaSynthesisModel
+from repro.hw.nic_model import raw_performance_table
+from repro.hw.nic_state import NicStateParams, compute_state_overhead
+
+
+def main() -> None:
+    print("=== §6.1 additional NIC state ===")
+    for bandwidth_gbps in (40, 100):
+        params = NicStateParams(link_bandwidth_bps=bandwidth_gbps * 1e9)
+        overhead = compute_state_overhead(params)
+        print(f"\n{bandwidth_gbps} Gbps links, {params.num_qps} QPs, {params.num_wqes} WQEs:")
+        for label, value in overhead.as_rows():
+            print(f"  {label:<32} {value}")
+
+    print("\n=== Table 2: FPGA synthesis estimates ===")
+    for bitmap_bits, label in ((128, "40 Gbps (128-bit bitmaps)"), (320, "100 Gbps (320-bit bitmaps)")):
+        model = FpgaSynthesisModel(bitmap_bits)
+        print(f"\n{label}:")
+        print(f"  {'module':<14} {'FF %':>7} {'LUT %':>7} {'latency (ns)':>13} {'tput (Mpps)':>12}")
+        for row in model.table():
+            print(f"  {row.name:<14} {row.flip_flop_fraction * 100:>7.2f} "
+                  f"{row.lut_fraction * 100:>7.2f} {row.latency_ns:>13.1f} "
+                  f"{row.throughput_mpps:>12.1f}")
+        total = model.totals()
+        print(f"  {'total':<14} {total.flip_flop_fraction * 100:>7.2f} "
+              f"{total.lut_fraction * 100:>7.2f} {'-':>13} {total.throughput_mpps:>12.1f}")
+        print(f"  bottleneck sustains 40G line rate: {total.sustains_line_rate(40e9)}")
+
+    print("\n=== Table 1: raw NIC performance (64B Writes, single QP) ===")
+    print(f"  {'NIC':<30} {'latency (us)':>13} {'msg rate (Mpps)':>16}")
+    for name, perf in raw_performance_table().items():
+        print(f"  {name:<30} {perf.latency_us:>13.2f} {perf.message_rate_mpps:>16.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""RDMA verbs over a lossy, reordering path (§5 of the paper).
+
+This example drives the verbs layer directly: a requester posts Writes with
+immediate data, Sends, a Read and an Atomic, and the packets are delivered to
+the responder in a deliberately scrambled order (simulating the reordering
+and retransmissions IRN produces on a lossy fabric).  It then shows that
+
+* every payload lands at exactly the right address (out-of-order DMA
+  placement with per-packet RETH headers),
+* completions are signalled in posting order with correct immediate data,
+* the MSN/2-bitmap machinery only fires completions once every earlier
+  packet has arrived (the premature-CQE path).
+
+Run with::
+
+    python examples/rdma_verbs_out_of_order.py
+"""
+
+import random
+
+from repro.rdma import (
+    MemoryRegion,
+    OpType,
+    ReceiveWqe,
+    Requester,
+    RequesterConfig,
+    RequestWqe,
+    Responder,
+    ResponderConfig,
+)
+
+
+def main() -> None:
+    rng = random.Random(42)
+    mtu = 64
+    requester = Requester(RequesterConfig(mtu_bytes=mtu))
+    responder = Responder(ResponderConfig(mtu_bytes=mtu))
+
+    heap = MemoryRegion(4096, rkey=7)
+    responder.register_memory(heap)
+    responder.register_memory(MemoryRegion(4096, rkey=0))   # Send sink buffers
+
+    # Post receive WQEs for the Sends / Write-with-immediate.
+    for i in range(4):
+        responder.post_receive(ReceiveWqe(buffer_addr=1024 + 256 * i, length=256))
+
+    # A mix of operations, as a key-value store might issue them.
+    payload = bytes(rng.randrange(256) for _ in range(300))
+    requester.post(RequestWqe(op=OpType.WRITE_WITH_IMM, local_data=payload,
+                              remote_addr=0, rkey=7, immediate=0xBEEF))
+    requester.post(RequestWqe(op=OpType.SEND, local_data=b"get key=42"))
+    requester.post(RequestWqe(op=OpType.READ, length=128, remote_addr=0, rkey=7))
+    requester.post(RequestWqe(op=OpType.ATOMIC_FETCH_ADD, remote_addr=512, rkey=7, atomic_add=3))
+
+    # Scramble the request packets to emulate loss recovery reordering.
+    packets = requester.pop_outgoing()
+    rng.shuffle(packets)
+    print(f"Delivering {len(packets)} request packets in scrambled order...")
+    for packet in packets:
+        for response in responder.on_request(packet):
+            requester.on_packet(response)
+
+    print(f"Responder: expected_psn={responder.expected_psn}, MSN={responder.msn}, "
+          f"out-of-order arrivals={responder.ooo_arrivals}")
+    assert heap.read(0, len(payload)) == payload, "Write payload corrupted"
+    print("Write payload placed correctly despite out-of-order delivery.")
+
+    print("\nRequester completions (posting order preserved):")
+    for cqe in requester.poll_cq():
+        extra = ""
+        if cqe.op is OpType.READ:
+            extra = f", read back {len(cqe.read_data)} bytes"
+        if cqe.op is OpType.ATOMIC_FETCH_ADD:
+            extra = f", original value {cqe.atomic_result}"
+        print(f"  {cqe.op.name:<18} bytes={cqe.byte_len:<5} {extra}")
+
+    print("\nResponder completions (receive side):")
+    for cqe in responder.poll_cq():
+        print(f"  {cqe.op.name:<18} bytes={cqe.byte_len:<5} immediate={cqe.immediate}")
+
+    print(f"\nAtomic target now holds {heap.read_u64(512)} (fetch-and-add of 3 applied once).")
+
+
+if __name__ == "__main__":
+    main()

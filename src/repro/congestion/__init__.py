@@ -1,0 +1,27 @@
+"""Congestion control algorithms pluggable into any transport.
+
+The paper evaluates RoCE and IRN with and without explicit congestion
+control: DCQCN (the ECN/CNP rate control deployed on ConnectX-4 NICs),
+Timely (RTT-gradient rate control), and -- in §4.4.4/§4.6 -- conventional
+window-based schemes (TCP AIMD and DCTCP) layered on IRN.
+"""
+
+from repro.congestion.base import CongestionControl, NoCongestionControl
+from repro.congestion.dcqcn import Dcqcn, DcqcnParams
+from repro.congestion.timely import Timely, TimelyParams
+from repro.congestion.window import AimdWindow, AimdParams, DctcpWindow, DctcpParams
+from repro.congestion.factory import make_congestion_control
+
+__all__ = [
+    "CongestionControl",
+    "NoCongestionControl",
+    "Dcqcn",
+    "DcqcnParams",
+    "Timely",
+    "TimelyParams",
+    "AimdWindow",
+    "AimdParams",
+    "DctcpWindow",
+    "DctcpParams",
+    "make_congestion_control",
+]

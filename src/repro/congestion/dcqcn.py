@@ -1,0 +1,143 @@
+"""DCQCN: the ECN-based rate control of Zhu et al. (SIGCOMM 2015).
+
+The algorithm has three participants:
+
+* the *congestion point* (switch) marks packets with ECN when its queue
+  exceeds a RED-like threshold (implemented in :mod:`repro.sim.switch`);
+* the *notification point* (receiver NIC) converts marked arrivals into CNP
+  frames, rate limited to one per interval (implemented in the receivers);
+* the *reaction point* (sender NIC), modelled here, cuts its rate
+  multiplicatively when CNPs arrive and recovers through fast-recovery /
+  additive-increase / hyper-increase stages.
+
+Parameters follow the published defaults, expressed relative to the line rate
+so the algorithm behaves sensibly on the scaled-down fabrics used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congestion.base import RateBasedControl
+
+
+@dataclass
+class DcqcnParams:
+    """DCQCN reaction-point parameters.
+
+    Attributes
+    ----------
+    g:
+        EWMA gain used to update ``alpha`` (the congestion estimate).
+    alpha_timer_s:
+        Interval after which ``alpha`` decays when no CNP arrives (55 us).
+    rate_increase_timer_s:
+        Period of the rate-increase state machine (the ConnectX-4
+        implementation uses 300 us; we keep it configurable because scaled
+        topologies have much smaller RTTs).
+    fast_recovery_rounds:
+        Number of increase iterations spent in fast recovery before additive
+        increase starts.
+    additive_increase_fraction:
+        Additive rate step (R_AI) expressed as a fraction of line rate.
+    hyper_increase_fraction:
+        Hyper-increase rate step (R_HAI) as a fraction of line rate.
+    min_rate_fraction:
+        Floor on the sending rate as a fraction of line rate.
+    cnp_interval_s:
+        Notification-point CNP generation interval (50 us); exposed here so
+        the experiment wiring can hand it to receivers.
+    """
+
+    g: float = 1.0 / 16.0
+    alpha_timer_s: float = 55e-6
+    rate_increase_timer_s: float = 300e-6
+    fast_recovery_rounds: int = 5
+    additive_increase_fraction: float = 0.005
+    hyper_increase_fraction: float = 0.05
+    min_rate_fraction: float = 0.001
+    cnp_interval_s: float = 50e-6
+
+
+class Dcqcn(RateBasedControl):
+    """DCQCN reaction point (sender-side rate control)."""
+
+    def __init__(self, line_rate_bps: float, params: DcqcnParams | None = None) -> None:
+        self.params = params or DcqcnParams()
+        super().__init__(
+            line_rate_bps,
+            min_rate_bps=line_rate_bps * self.params.min_rate_fraction,
+        )
+        #: Target rate the current rate converges toward during recovery.
+        self.target_rate_bps = line_rate_bps
+        #: Congestion estimate in [0, 1].
+        self.alpha = 1.0
+        #: Number of completed rate-increase iterations since the last cut.
+        self._increase_iterations = 0
+        self._last_cnp_time = -float("inf")
+        self._last_alpha_update = 0.0
+        self._last_rate_increase = 0.0
+
+        # Statistics
+        self.cnps_received = 0
+        self.rate_cuts = 0
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def on_cnp(self, now: float) -> None:
+        """Cut the rate multiplicatively and restart the recovery stages."""
+        self._advance_timers(now)
+        self.cnps_received += 1
+        self.rate_cuts += 1
+        self._last_cnp_time = now
+        self.target_rate_bps = self.rate_bps
+        self.rate_bps *= 1.0 - self.alpha / 2.0
+        self.alpha = (1.0 - self.params.g) * self.alpha + self.params.g
+        self._increase_iterations = 0
+        self._last_rate_increase = now
+        self._last_alpha_update = now
+        self.clamp_rate()
+
+    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
+        """ACKs drive the timer-based alpha decay and rate increase."""
+        self._advance_timers(now)
+
+    def on_timeout(self, now: float) -> None:
+        self._advance_timers(now)
+
+    # ------------------------------------------------------------------
+    # Internal state machines
+    # ------------------------------------------------------------------
+    def _advance_timers(self, now: float) -> None:
+        self._decay_alpha(now)
+        self._increase_rate(now)
+
+    def _decay_alpha(self, now: float) -> None:
+        interval = self.params.alpha_timer_s
+        while now - self._last_alpha_update >= interval:
+            self._last_alpha_update += interval
+            if self._last_alpha_update > self._last_cnp_time:
+                self.alpha *= 1.0 - self.params.g
+
+    def _increase_rate(self, now: float) -> None:
+        interval = self.params.rate_increase_timer_s
+        while now - self._last_rate_increase >= interval:
+            self._last_rate_increase += interval
+            self._one_increase_step()
+
+    def _one_increase_step(self) -> None:
+        params = self.params
+        self._increase_iterations += 1
+        if self._increase_iterations <= params.fast_recovery_rounds:
+            # Fast recovery: converge halfway toward the target rate.
+            pass
+        elif self._increase_iterations <= 2 * params.fast_recovery_rounds:
+            # Additive increase.
+            self.target_rate_bps += params.additive_increase_fraction * self.line_rate_bps
+        else:
+            # Hyper increase.
+            self.target_rate_bps += params.hyper_increase_fraction * self.line_rate_bps
+        self.target_rate_bps = min(self.target_rate_bps, self.line_rate_bps)
+        self.rate_bps = (self.rate_bps + self.target_rate_bps) / 2.0
+        self.clamp_rate()

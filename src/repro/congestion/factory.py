@@ -1,0 +1,56 @@
+"""Construct congestion-control instances from an experiment configuration."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.congestion.base import CongestionControl, NoCongestionControl
+from repro.congestion.dcqcn import Dcqcn, DcqcnParams
+from repro.congestion.timely import Timely, TimelyParams
+from repro.congestion.window import AimdParams, AimdWindow, DctcpParams, DctcpWindow
+
+
+def make_congestion_control(
+    kind: str,
+    line_rate_bps: float,
+    base_rtt_s: float,
+    dcqcn_params: Optional[DcqcnParams] = None,
+    timely_params: Optional[TimelyParams] = None,
+    aimd_params: Optional[AimdParams] = None,
+    dctcp_params: Optional[DctcpParams] = None,
+) -> CongestionControl:
+    """Build a per-flow congestion-control object.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"none"``, ``"dcqcn"``, ``"timely"``, ``"aimd"``, ``"dctcp"``.
+    line_rate_bps:
+        Host link rate (rate-based algorithms start at line rate).
+    base_rtt_s:
+        Unloaded RTT of the longest path; used to scale Timely's thresholds
+        and the DCQCN timers when explicit parameters are not supplied, so
+        the algorithms remain meaningful on scaled-down test fabrics.
+    """
+    kind = kind.lower()
+    if kind in ("none", "no_cc", "off"):
+        return NoCongestionControl()
+    if kind == "dcqcn":
+        params = dcqcn_params or DcqcnParams(
+            alpha_timer_s=max(base_rtt_s, 5e-6),
+            rate_increase_timer_s=max(3.0 * base_rtt_s, 15e-6),
+            cnp_interval_s=max(base_rtt_s, 5e-6),
+        )
+        return Dcqcn(line_rate_bps, params)
+    if kind == "timely":
+        params = timely_params or TimelyParams(
+            t_low_s=1.5 * base_rtt_s,
+            t_high_s=6.0 * base_rtt_s,
+            min_rtt_s=max(base_rtt_s, 1e-6),
+        )
+        return Timely(line_rate_bps, params)
+    if kind == "aimd":
+        return AimdWindow(aimd_params or AimdParams())
+    if kind == "dctcp":
+        return DctcpWindow(dctcp_params or DctcpParams())
+    raise ValueError(f"unknown congestion control kind {kind!r}")

@@ -1,0 +1,105 @@
+"""Timely: RTT-gradient rate control (Mittal et al., SIGCOMM 2015).
+
+Timely measures per-ACK round-trip times in the NIC and adjusts the sending
+rate from the *gradient* of the RTT series: rising RTTs indicate queue
+build-up and trigger multiplicative decrease, falling or flat RTTs allow
+additive increase.  Two guard thresholds bypass the gradient logic: below
+``t_low`` the rate always increases, above ``t_high`` it always decreases.
+
+The defaults follow the paper's parameters; experiments on scaled-down
+fabrics pass thresholds proportional to their own base RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congestion.base import RateBasedControl
+
+
+@dataclass
+class TimelyParams:
+    """Timely parameters.
+
+    Attributes
+    ----------
+    t_low_s / t_high_s:
+        RTT guard thresholds (50 us / 500 us in the paper).
+    ewma_alpha:
+        Weight of the new RTT difference in the gradient EWMA.
+    additive_increase_fraction:
+        Additive step (delta) as a fraction of line rate (10 Mbps on 10G).
+    beta:
+        Multiplicative decrease factor.
+    hai_threshold:
+        Number of consecutive gradient-negative completions after which
+        hyper-active increase (N * delta) kicks in.
+    min_rtt_s:
+        Minimum RTT used to normalize the gradient.
+    """
+
+    t_low_s: float = 50e-6
+    t_high_s: float = 500e-6
+    ewma_alpha: float = 0.3
+    additive_increase_fraction: float = 0.001
+    beta: float = 0.8
+    hai_threshold: int = 5
+    min_rtt_s: float = 20e-6
+
+
+class Timely(RateBasedControl):
+    """Timely reaction logic (one instance per flow/queue pair)."""
+
+    def __init__(self, line_rate_bps: float, params: TimelyParams | None = None) -> None:
+        self.params = params or TimelyParams()
+        super().__init__(line_rate_bps)
+        self._prev_rtt: float | None = None
+        self._rtt_gradient = 0.0
+        self._consecutive_increases = 0
+
+        # Statistics
+        self.rtt_samples = 0
+        self.decreases = 0
+        self.increases = 0
+
+    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
+        """Update the rate from a new RTT sample."""
+        if rtt <= 0:
+            return
+        self.rtt_samples += 1
+        params = self.params
+        if self._prev_rtt is None:
+            self._prev_rtt = rtt
+            return
+
+        rtt_diff = rtt - self._prev_rtt
+        self._prev_rtt = rtt
+        self._rtt_gradient = (
+            (1.0 - params.ewma_alpha) * self._rtt_gradient + params.ewma_alpha * rtt_diff
+        )
+        normalized_gradient = self._rtt_gradient / params.min_rtt_s
+        delta = params.additive_increase_fraction * self.line_rate_bps
+
+        if rtt < params.t_low_s:
+            self._additive_increase(delta)
+            return
+        if rtt > params.t_high_s:
+            self.rate_bps *= 1.0 - params.beta * (1.0 - params.t_high_s / rtt)
+            self.decreases += 1
+            self._consecutive_increases = 0
+            self.clamp_rate()
+            return
+        if normalized_gradient <= 0:
+            self._consecutive_increases += 1
+            steps = 5 if self._consecutive_increases >= params.hai_threshold else 1
+            self._additive_increase(steps * delta)
+        else:
+            self.rate_bps *= 1.0 - params.beta * min(1.0, normalized_gradient)
+            self.decreases += 1
+            self._consecutive_increases = 0
+            self.clamp_rate()
+
+    def _additive_increase(self, delta: float) -> None:
+        self.rate_bps += delta
+        self.increases += 1
+        self.clamp_rate()

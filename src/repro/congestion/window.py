@@ -1,0 +1,125 @@
+"""Window-based congestion control: TCP AIMD and DCTCP.
+
+§4.4.4 of the paper layers "conventional window-based congestion control
+schemes such as TCP's AIMD and DCTCP" on top of IRN, and §4.6 augments IRN
+with TCP's AIMD logic for the iWARP comparison.  These classes bound the
+number of packets in flight (on top of IRN's static BDP-FC cap) rather than
+pacing the sending rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.congestion.base import CongestionControl
+
+
+@dataclass
+class AimdParams:
+    """Additive-increase / multiplicative-decrease parameters.
+
+    ``initial_window`` of one packet with ``slow_start=True`` reproduces TCP
+    behaviour; IRN-style deployments start at the BDP (the flow starts at
+    line rate) and only use the decrease/recovery dynamics.
+    """
+
+    initial_window: float = 1.0
+    slow_start: bool = True
+    ssthresh: float = float("inf")
+    min_window: float = 1.0
+    max_window: float = float("inf")
+    multiplicative_decrease: float = 0.5
+
+
+class AimdWindow(CongestionControl):
+    """TCP-style AIMD congestion window (in packets)."""
+
+    def __init__(self, params: AimdParams | None = None) -> None:
+        self.params = params or AimdParams()
+        self.cwnd = self.params.initial_window
+        self.ssthresh = self.params.ssthresh
+
+        # Statistics
+        self.loss_events = 0
+        self.timeout_events = 0
+
+    def window_limit(self, base: float) -> float:
+        return min(base, self.cwnd)
+
+    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
+        """Grow the window: exponentially in slow start, else 1/cwnd per ACK."""
+        if self.params.slow_start and self.cwnd < self.ssthresh:
+            self.cwnd += 1.0
+        else:
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+        self.cwnd = min(self.cwnd, self.params.max_window)
+
+    def on_loss(self, now: float) -> None:
+        """Multiplicative decrease on a loss signal (fast-retransmit style)."""
+        self.loss_events += 1
+        self.ssthresh = max(self.params.min_window, self.cwnd * self.params.multiplicative_decrease)
+        self.cwnd = max(self.params.min_window, self.cwnd * self.params.multiplicative_decrease)
+
+    def on_timeout(self, now: float) -> None:
+        """Collapse to one packet and re-enter slow start on a timeout."""
+        self.timeout_events += 1
+        self.ssthresh = max(self.params.min_window, self.cwnd * self.params.multiplicative_decrease)
+        self.cwnd = self.params.min_window
+
+
+@dataclass
+class DctcpParams:
+    """DCTCP parameters (Alizadeh et al., SIGCOMM 2010)."""
+
+    initial_window: float = 10.0
+    ewma_gain: float = 1.0 / 16.0
+    min_window: float = 1.0
+    max_window: float = float("inf")
+
+
+class DctcpWindow(CongestionControl):
+    """DCTCP: scale the window cut by the fraction of ECN-marked ACKs."""
+
+    def __init__(self, params: DctcpParams | None = None) -> None:
+        self.params = params or DctcpParams()
+        self.cwnd = self.params.initial_window
+        #: Smoothed fraction of marked packets.
+        self.alpha = 0.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_acks_target = int(self.cwnd)
+
+        # Statistics
+        self.loss_events = 0
+        self.window_cuts = 0
+
+    def window_limit(self, base: float) -> float:
+        return min(base, self.cwnd)
+
+    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
+        """Accumulate mark statistics; every cwnd ACKs update alpha and cwnd."""
+        self._acked_in_window += 1
+        if ecn_echo:
+            self._marked_in_window += 1
+        # Additive increase each RTT (approximated per-ACK).
+        self.cwnd += 1.0 / max(self.cwnd, 1.0)
+        self.cwnd = min(self.cwnd, self.params.max_window)
+
+        if self._acked_in_window >= self._window_acks_target:
+            fraction = self._marked_in_window / max(1, self._acked_in_window)
+            gain = self.params.ewma_gain
+            self.alpha = (1.0 - gain) * self.alpha + gain * fraction
+            if self._marked_in_window > 0:
+                self.cwnd = max(self.params.min_window, self.cwnd * (1.0 - self.alpha / 2.0))
+                self.window_cuts += 1
+            self._acked_in_window = 0
+            self._marked_in_window = 0
+            self._window_acks_target = max(1, int(self.cwnd))
+
+    def on_loss(self, now: float) -> None:
+        self.loss_events += 1
+        self.cwnd = max(self.params.min_window, self.cwnd * 0.5)
+
+    def on_timeout(self, now: float) -> None:
+        self.loss_events += 1
+        self.cwnd = self.params.min_window

@@ -1,0 +1,24 @@
+"""Transport logic: IRN (the paper's contribution), RoCE, iWARP and variants."""
+
+from repro.core.transport import Flow, BaseSender, BaseReceiver, TransportConfig
+from repro.core.irn import IrnConfig, IrnSender, IrnReceiver, LossRecovery
+from repro.core.roce import RoceConfig, RoceSender, RoceReceiver
+from repro.core.iwarp import TcpConfig, TcpSender
+from repro.core.factory import make_flow_endpoints
+
+__all__ = [
+    "Flow",
+    "BaseSender",
+    "BaseReceiver",
+    "TransportConfig",
+    "IrnConfig",
+    "IrnSender",
+    "IrnReceiver",
+    "LossRecovery",
+    "RoceConfig",
+    "RoceSender",
+    "RoceReceiver",
+    "TcpConfig",
+    "TcpSender",
+    "make_flow_endpoints",
+]

@@ -1,0 +1,107 @@
+"""Factories that build matched sender/receiver pairs for a flow."""
+
+from __future__ import annotations
+
+import dataclasses
+from enum import Enum
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.core.irn import IrnConfig, IrnReceiver, IrnSender, LossRecovery
+from repro.core.iwarp import TcpConfig, TcpSender
+from repro.core.roce import RoceConfig, RoceReceiver, RoceSender
+from repro.core.transport import BaseReceiver, BaseSender, Flow, FlowCallback
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congestion.base import CongestionControl
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+
+
+class TransportKind(Enum):
+    """Transport variants evaluated in the paper."""
+
+    IRN = "irn"
+    ROCE = "roce"
+    IWARP = "iwarp"
+    #: §4.3 factor analysis: IRN with go-back-N instead of SACK recovery.
+    IRN_GO_BACK_N = "irn_go_back_n"
+    #: §4.3 factor analysis: IRN without the BDP-FC in-flight cap.
+    IRN_NO_BDPFC = "irn_no_bdpfc"
+    #: §4.3 factor analysis: selective retransmit without SACK state.
+    IRN_NO_SACK = "irn_no_sack"
+
+
+def make_flow_endpoints(
+    sim: "Simulator",
+    src_host: "Host",
+    flow: Flow,
+    kind: TransportKind,
+    irn_config: Optional[IrnConfig] = None,
+    roce_config: Optional[RoceConfig] = None,
+    tcp_config: Optional[TcpConfig] = None,
+    congestion_control: Optional["CongestionControl"] = None,
+    cnp_interval_s: Optional[float] = None,
+    on_sender_complete: Optional[FlowCallback] = None,
+    on_receiver_complete: Optional[FlowCallback] = None,
+) -> Tuple[BaseSender, BaseReceiver]:
+    """Instantiate the sender and receiver for ``flow`` under ``kind``.
+
+    The caller is responsible for registering the returned endpoints with
+    their hosts (``src_host.register_sender`` / ``dst_host.register_receiver``);
+    the factory only needs the source host to wire the sender's NIC callbacks.
+    """
+    if kind is TransportKind.ROCE:
+        config = roce_config or RoceConfig()
+        sender: BaseSender = RoceSender(
+            sim, src_host, flow, config,
+            congestion_control=congestion_control,
+            on_complete=on_sender_complete,
+        )
+        receiver: BaseReceiver = RoceReceiver(
+            sim, flow, config,
+            on_complete=on_receiver_complete,
+            cnp_interval_s=cnp_interval_s,
+        )
+        return sender, receiver
+
+    if kind is TransportKind.IWARP:
+        config = tcp_config or TcpConfig()
+        sender = TcpSender(
+            sim, src_host, flow, config,
+            congestion_control=congestion_control,
+            on_complete=on_sender_complete,
+        )
+        receiver = IrnReceiver(
+            sim, flow, config,
+            on_complete=on_receiver_complete,
+            cnp_interval_s=cnp_interval_s,
+            accept_ooo=True,
+        )
+        return sender, receiver
+
+    # IRN and its factor-analysis variants.
+    config = irn_config or IrnConfig()
+    if kind is TransportKind.IRN_GO_BACK_N:
+        config = dataclasses.replace(config, loss_recovery=LossRecovery.GO_BACK_N)
+    elif kind is TransportKind.IRN_NO_BDPFC:
+        config = dataclasses.replace(config, bdp_fc_enabled=False)
+    elif kind is TransportKind.IRN_NO_SACK:
+        config = dataclasses.replace(config, loss_recovery=LossRecovery.SELECTIVE_NO_SACK)
+    elif kind is not TransportKind.IRN:
+        raise ValueError(f"unsupported transport kind {kind!r}")
+
+    sender = IrnSender(
+        sim, src_host, flow, config,
+        congestion_control=congestion_control,
+        on_complete=on_sender_complete,
+    )
+    # The go-back-N variant keeps the RoCE-style receiver that discards
+    # out-of-order packets; all other variants accept them.
+    accept_ooo = kind is not TransportKind.IRN_GO_BACK_N
+    receiver = IrnReceiver(
+        sim, flow, config,
+        on_complete=on_receiver_complete,
+        cnp_interval_s=cnp_interval_s,
+        accept_ooo=accept_ooo,
+    )
+    return sender, receiver

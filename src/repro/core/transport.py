@@ -1,0 +1,385 @@
+"""Common transport machinery shared by IRN, RoCE and the iWARP TCP stack.
+
+A :class:`Flow` is the unit of data transfer from the paper: one or more
+messages between a source/destination queue pair.  :class:`BaseSender` and
+:class:`BaseReceiver` implement everything that is identical across the
+transports -- packetization, the host-NIC scheduling interface, pacing via an
+optional congestion-control module, retransmission timers, and completion
+signalling -- so each concrete transport only implements its loss-recovery
+and windowing policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.sim.packet import DEFAULT_HEADER_BYTES, Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.congestion.base import CongestionControl
+    from repro.sim.engine import Simulator
+    from repro.sim.host import Host
+
+
+FlowCallback = Callable[["Flow", float], None]
+
+
+@dataclass
+class Flow:
+    """A unit of data transfer between a source and a destination host."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: int
+    start_time: float = 0.0
+    #: Optional grouping key (e.g. "incast" vs "background" traffic).
+    group: str = "default"
+
+    # Filled in at runtime -----------------------------------------------------
+    completion_time: Optional[float] = None
+    first_packet_time: Optional[float] = None
+
+    def num_packets(self, mtu_bytes: int) -> int:
+        """Number of MTU-sized packets needed to carry the flow."""
+        return max(1, math.ceil(self.size_bytes / mtu_bytes))
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    def fct(self) -> float:
+        """Flow completion time (raises if the flow has not finished)."""
+        if self.completion_time is None:
+            raise RuntimeError(f"flow {self.flow_id} has not completed")
+        return self.completion_time - self.start_time
+
+
+@dataclass
+class TransportConfig:
+    """Knobs shared by every transport implementation."""
+
+    mtu_bytes: int = 1000
+    header_bytes: int = DEFAULT_HEADER_BYTES
+    #: Retransmission timeout used when the transport has a single timer.
+    rto_s: float = 320e-6
+    #: Whether the receiver generates per-packet cumulative ACKs.  The paper's
+    #: RoCE-with-PFC baseline models the all-Reads extreme and sends no ACKs.
+    generate_acks: bool = True
+    #: Whether the sender arms retransmission timers (disabled for the
+    #: RoCE-with-PFC baseline to avoid spurious retransmissions).
+    timeouts_enabled: bool = True
+
+
+class BaseSender:
+    """Transmit side of a flow.
+
+    Subclasses must implement :meth:`_select_packet` (choose the next PSN to
+    put on the wire, or ``None``) and the control-packet handlers
+    :meth:`_handle_ack` / :meth:`_handle_nack`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow: Flow,
+        config: TransportConfig,
+        congestion_control: Optional["CongestionControl"] = None,
+        on_complete: Optional[FlowCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.config = config
+        self.cc = congestion_control
+        self.on_complete = on_complete
+
+        self.flow_id = flow.flow_id
+        self.num_packets = flow.num_packets(config.mtu_bytes)
+        self.last_packet_payload = flow.size_bytes - (self.num_packets - 1) * config.mtu_bytes
+
+        #: Highest cumulatively acknowledged PSN (all packets < snd_una done).
+        self.snd_una = 0
+        #: Next brand-new PSN to send.
+        self.snd_nxt = 0
+        #: Highest PSN handed to the NIC so far (exclusive).
+        self.highest_sent = 0
+
+        self.completed = False
+
+        # Statistics
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.timeouts_fired = 0
+        self.nacks_received = 0
+
+        self._rto_event = None
+        self._pacing_event = None
+
+    # ------------------------------------------------------------------
+    # Interface used by the host NIC
+    # ------------------------------------------------------------------
+    def has_packet_ready(self, now: float) -> bool:
+        """True when the NIC could send a packet of this flow right now."""
+        if self.completed:
+            return False
+        psn = self._select_packet(now)
+        if psn is None:
+            return False
+        release = self._pacing_release_time(now)
+        if release > now:
+            self._ensure_pacing_wakeup(release)
+            return False
+        return True
+
+    def next_packet(self, now: float) -> Optional[Packet]:
+        """Hand the next packet of this flow to the NIC."""
+        if self.completed:
+            return None
+        release = self._pacing_release_time(now)
+        if release > now:
+            self._ensure_pacing_wakeup(release)
+            return None
+        psn = self._select_packet(now)
+        if psn is None:
+            return None
+        packet = self._build_packet(psn, now)
+        self._note_sent(psn, packet, now)
+        return packet
+
+    def on_control(self, packet: Packet, now: float) -> None:
+        """Dispatch an ACK/NACK/CNP to the right handler."""
+        if packet.ptype is PacketType.ACK:
+            self._handle_ack(packet, now)
+        elif packet.ptype is PacketType.NACK:
+            self.nacks_received += 1
+            self._handle_nack(packet, now)
+        elif packet.ptype is PacketType.CNP:
+            if self.cc is not None:
+                self.cc.on_cnp(now)
+        self.host.notify_ready()
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _select_packet(self, now: float) -> Optional[int]:
+        """Return the PSN to transmit next, or ``None`` if nothing is ready."""
+        raise NotImplementedError
+
+    def _handle_ack(self, packet: Packet, now: float) -> None:
+        raise NotImplementedError
+
+    def _handle_nack(self, packet: Packet, now: float) -> None:
+        raise NotImplementedError
+
+    def _is_retransmission(self, psn: int) -> bool:
+        return psn < self.highest_sent
+
+    # ------------------------------------------------------------------
+    # Packet construction and pacing
+    # ------------------------------------------------------------------
+    def _payload_for(self, psn: int) -> int:
+        if psn == self.num_packets - 1:
+            return max(1, self.last_packet_payload)
+        return self.config.mtu_bytes
+
+    def _build_packet(self, psn: int, now: float) -> Packet:
+        return Packet(
+            ptype=PacketType.DATA,
+            flow_id=self.flow_id,
+            src=self.flow.src,
+            dst=self.flow.dst,
+            psn=psn,
+            payload_bytes=self._payload_for(psn),
+            header_bytes=self.config.header_bytes,
+            msg_id=0,
+            last_of_message=(psn == self.num_packets - 1),
+            retransmitted=self._is_retransmission(psn),
+            sent_time=now,
+        )
+
+    def _note_sent(self, psn: int, packet: Packet, now: float) -> None:
+        self.packets_sent += 1
+        if packet.retransmitted:
+            self.retransmissions += 1
+        if self.flow.first_packet_time is None:
+            self.flow.first_packet_time = now
+        self.highest_sent = max(self.highest_sent, psn + 1)
+        if self.cc is not None:
+            self.cc.on_packet_sent(packet.size_bits, now)
+        if self.config.timeouts_enabled:
+            self._arm_rto(now)
+
+    def _pacing_release_time(self, now: float) -> float:
+        if self.cc is None:
+            return now
+        return self.cc.next_send_time(now)
+
+    def _ensure_pacing_wakeup(self, release: float) -> None:
+        if self._pacing_event is not None and not self._pacing_event.cancelled:
+            return
+        self._pacing_event = self.sim.schedule_at(release, self._pacing_fired)
+
+    def _pacing_fired(self) -> None:
+        self._pacing_event = None
+        self.host.notify_ready()
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def _window_limit(self) -> float:
+        """Maximum number of unacknowledged packets allowed in flight."""
+        base = float("inf")
+        if self.cc is not None:
+            base = self.cc.window_limit(base)
+        return base
+
+    def in_flight(self) -> int:
+        """Packets sent but not yet cumulatively acknowledged."""
+        return max(0, self.snd_nxt - self.snd_una)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _rto_value(self, now: float) -> float:
+        return self.config.rto_s
+
+    def _arm_rto(self, now: float, restart: bool = False) -> None:
+        if not self.config.timeouts_enabled or self.completed:
+            return
+        if self._rto_event is not None and not self._rto_event.cancelled:
+            if not restart:
+                return
+            self._rto_event.cancel()
+        self._rto_event = self.sim.schedule(self._rto_value(now), self._rto_fired)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _rto_fired(self) -> None:
+        self._rto_event = None
+        if self.completed or self.snd_una >= self.num_packets:
+            return
+        self.timeouts_fired += 1
+        self._handle_timeout(self.sim.now)
+        if self.cc is not None:
+            self.cc.on_timeout(self.sim.now)
+        self._arm_rto(self.sim.now)
+        self.host.notify_ready()
+
+    def _handle_timeout(self, now: float) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _advance_cumulative(self, cum: int, now: float) -> bool:
+        """Advance ``snd_una``; returns True if it moved."""
+        if cum <= self.snd_una:
+            return False
+        self.snd_una = cum
+        self.snd_nxt = max(self.snd_nxt, cum)
+        if self.snd_una >= self.num_packets:
+            self._mark_complete(now)
+        else:
+            self._arm_rto(now, restart=True)
+        return True
+
+    def _mark_complete(self, now: float) -> None:
+        if self.completed:
+            return
+        self.completed = True
+        self._cancel_rto()
+        if self._pacing_event is not None:
+            self._pacing_event.cancel()
+        if self.on_complete is not None:
+            self.on_complete(self.flow, now)
+
+
+class BaseReceiver:
+    """Receive side of a flow.
+
+    Tracks arrival of the flow's packets and signals completion once every
+    byte has been delivered, independently of whether the transport generates
+    acknowledgements (the paper's RoCE-with-PFC baseline does not).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        flow: Flow,
+        config: TransportConfig,
+        on_complete: Optional[FlowCallback] = None,
+        cnp_interval_s: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.flow = flow
+        self.config = config
+        self.flow_id = flow.flow_id
+        self.num_packets = flow.num_packets(config.mtu_bytes)
+        self.on_complete = on_complete
+
+        self.delivered_packets = 0
+        self.completed = False
+
+        # DCQCN notification-point state: at most one CNP per interval.
+        self._cnp_interval_s = cnp_interval_s
+        self._last_cnp_time = -float("inf")
+
+        # Statistics
+        self.data_received = 0
+        self.duplicates_received = 0
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.cnps_sent = 0
+
+    # ------------------------------------------------------------------
+    def on_data(self, packet: Packet, now: float) -> List[Packet]:
+        """Consume a data packet; returns control frames to send back."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _control(self, ptype: PacketType, data_packet: Packet, **fields) -> Packet:
+        """Build an ACK/NACK/CNP going back to the data packet's source."""
+        packet = Packet(
+            ptype=ptype,
+            flow_id=self.flow_id,
+            src=self.flow.dst,
+            dst=self.flow.src,
+            psn=data_packet.psn,
+            echo_time=data_packet.sent_time,
+            ecn_echo=data_packet.ecn,
+        )
+        for key, value in fields.items():
+            setattr(packet, key, value)
+        if ptype is PacketType.ACK:
+            self.acks_sent += 1
+        elif ptype is PacketType.NACK:
+            self.nacks_sent += 1
+        return packet
+
+    def _maybe_cnp(self, data_packet: Packet, now: float) -> Optional[Packet]:
+        """Generate a DCQCN CNP if the packet was ECN-marked (rate limited)."""
+        if self._cnp_interval_s is None or not data_packet.ecn:
+            return None
+        if now - self._last_cnp_time < self._cnp_interval_s:
+            return None
+        self._last_cnp_time = now
+        self.cnps_sent += 1
+        return self._control(PacketType.CNP, data_packet)
+
+    def _note_delivered(self, count: int, now: float) -> None:
+        """Record ``count`` newly delivered (in-order or placed) packets."""
+        self.delivered_packets += count
+        if not self.completed and self.delivered_packets >= self.num_packets:
+            self.completed = True
+            self.flow.completion_time = now
+            if self.on_complete is not None:
+                self.on_complete(self.flow, now)

@@ -1,0 +1,22 @@
+"""Experiment harness: configurations, runner and paper scenario presets."""
+
+from repro.experiments.config import (
+    CongestionControl,
+    ExperimentConfig,
+    TopologyKind,
+    TransportKind,
+    WorkloadKind,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments import scenarios
+
+__all__ = [
+    "CongestionControl",
+    "ExperimentConfig",
+    "TopologyKind",
+    "TransportKind",
+    "WorkloadKind",
+    "ExperimentResult",
+    "run_experiment",
+    "scenarios",
+]

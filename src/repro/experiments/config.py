@@ -1,0 +1,230 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` fully describes one simulation run: topology,
+switch/PFC settings, transport, congestion control, workload and the IRN
+parameters under study.  Presets for the paper's scenarios live in
+:mod:`repro.experiments.scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Optional
+
+from repro.core.factory import TransportKind
+from repro.sim.pfc import PfcConfig, headroom_for_link
+from repro.sim.switch import EcnConfig, SwitchConfig
+from repro.topology.fattree import FatTreeParams
+from repro.workload.distributions import (
+    FixedSizes,
+    FlowSizeDistribution,
+    HeavyTailedSizes,
+    UniformSizes,
+)
+from repro.workload.incast import IncastParams
+
+
+class CongestionControl(Enum):
+    """Explicit congestion-control schemes evaluated in the paper."""
+
+    NONE = "none"
+    TIMELY = "timely"
+    DCQCN = "dcqcn"
+    AIMD = "aimd"
+    DCTCP = "dctcp"
+
+
+class TopologyKind(Enum):
+    """Topology families supported by the harness."""
+
+    FAT_TREE = "fat_tree"
+    STAR = "star"
+    DUMBBELL = "dumbbell"
+    PARKING_LOT = "parking_lot"
+
+
+class WorkloadKind(Enum):
+    """Workload families from the paper's evaluation."""
+
+    HEAVY_TAILED = "heavy_tailed"
+    UNIFORM = "uniform"
+    FIXED = "fixed"
+    NONE = "none"
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run one simulation."""
+
+    name: str = "default"
+
+    # --- topology ---------------------------------------------------------
+    topology: TopologyKind = TopologyKind.FAT_TREE
+    fat_tree_k: int = 4
+    num_hosts: int = 8            # used by star/dumbbell topologies
+    link_bandwidth_bps: float = 10e9
+    link_delay_s: float = 1e-6
+
+    # --- switch / PFC -------------------------------------------------------
+    pfc_enabled: bool = True
+    #: Per-input-port buffer.  ``None`` means twice the network BDP (§4.1).
+    buffer_bytes_per_port: Optional[int] = None
+    #: PFC headroom.  ``None`` derives it from the upstream link's BDP.
+    pfc_headroom_bytes: Optional[int] = None
+
+    # --- transport ------------------------------------------------------------
+    transport: TransportKind = TransportKind.IRN
+    mtu_bytes: int = 1000
+    header_bytes: int = 48
+    #: IRN timeouts.  ``None`` derives them with the paper's rule (§4.1):
+    #: RTO_high is the longest-path propagation delay plus the time to drain a
+    #: completely full switch buffer (320 us for the paper's 40 Gbps fabric);
+    #: RTO_low is the desired upper bound on short-message tail latency
+    #: (100 us in the paper, about a third of RTO_high).
+    rto_low_s: Optional[float] = None
+    rto_high_s: Optional[float] = None
+    rto_low_threshold_packets: int = 3
+    #: Explicit BDP-FC cap; ``None`` computes it from the topology.
+    bdp_cap_packets: Optional[int] = None
+    #: §6.3 worst-case implementation overheads (extra headers + PCIe fetch
+    #: delay for retransmissions).
+    worst_case_overheads: bool = False
+
+    # --- congestion control ------------------------------------------------------
+    congestion_control: CongestionControl = CongestionControl.NONE
+
+    # --- workload ------------------------------------------------------------------
+    workload: WorkloadKind = WorkloadKind.HEAVY_TAILED
+    target_load: float = 0.7
+    num_flows: int = 200
+    #: Scale factor applied to the medium/large bands of the heavy-tailed mix
+    #: (benchmarks shrink flows so pure-Python simulation stays fast).
+    flow_size_scale: float = 0.1
+    uniform_low_bytes: float = 50_000
+    uniform_high_bytes: float = 500_000
+    fixed_size_bytes: int = 100_000
+    incast: Optional[IncastParams] = None
+
+    # --- simulation control ----------------------------------------------------------
+    seed: int = 1
+    #: Hard wall on simulated time (seconds); ``None`` runs to completion.
+    max_sim_time_s: Optional[float] = 5.0
+    #: Safety valve on the number of processed events.
+    max_events: Optional[int] = 50_000_000
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def fat_tree_params(self) -> FatTreeParams:
+        return FatTreeParams(
+            k=self.fat_tree_k,
+            link_bandwidth_bps=self.link_bandwidth_bps,
+            link_delay_s=self.link_delay_s,
+        )
+
+    def max_hop_count(self) -> int:
+        if self.topology is TopologyKind.FAT_TREE:
+            return FatTreeParams(k=self.fat_tree_k).max_hop_count
+        if self.topology is TopologyKind.STAR:
+            return 2
+        if self.topology is TopologyKind.DUMBBELL:
+            return 3
+        return 4
+
+    def base_rtt_s(self) -> float:
+        """Unloaded round-trip propagation time of the longest path."""
+        return 2.0 * self.max_hop_count() * self.link_delay_s
+
+    def bdp_bytes(self) -> int:
+        """Bandwidth-delay product of the longest path."""
+        return int(self.link_bandwidth_bps * self.base_rtt_s() / 8.0)
+
+    def effective_bdp_cap_packets(self) -> int:
+        """The BDP-FC cap in packets (explicit override or derived)."""
+        if self.bdp_cap_packets is not None:
+            return self.bdp_cap_packets
+        return max(2, self.bdp_bytes() // self.mtu_bytes)
+
+    def effective_buffer_bytes(self) -> int:
+        """Per-port buffer (defaults to twice the BDP, as in §4.1)."""
+        if self.buffer_bytes_per_port is not None:
+            return self.buffer_bytes_per_port
+        return max(2 * self.mtu_bytes, 2 * self.bdp_bytes())
+
+    def effective_headroom_bytes(self) -> int:
+        """PFC headroom (defaults to the upstream link's in-flight bytes)."""
+        if self.pfc_headroom_bytes is not None:
+            return self.pfc_headroom_bytes
+        return headroom_for_link(self.link_bandwidth_bps, self.link_delay_s, self.mtu_bytes)
+
+    def switch_radix(self) -> int:
+        """Number of ports per switch (bounds how many inputs feed one output)."""
+        if self.topology is TopologyKind.FAT_TREE:
+            return self.fat_tree_k
+        if self.topology is TopologyKind.STAR:
+            return self.num_hosts
+        return 4
+
+    def effective_rto_high_s(self) -> float:
+        """RTO_high per the paper's rule: longest-path propagation plus the
+        maximum queueing delay a packet can see at one congested link (all of
+        the other input-port buffers of that switch completely full)."""
+        if self.rto_high_s is not None:
+            return self.rto_high_s
+        one_way_prop = self.max_hop_count() * self.link_delay_s
+        buffer_drain = self.effective_buffer_bytes() * 8.0 / self.link_bandwidth_bps
+        return one_way_prop + max(1, self.switch_radix() - 1) * buffer_drain
+
+    def effective_rto_low_s(self) -> float:
+        """RTO_low: the desired bound on short-message tail latency (the
+        paper uses roughly a third of RTO_high and several base RTTs)."""
+        if self.rto_low_s is not None:
+            return self.rto_low_s
+        return max(2.0 * self.base_rtt_s(), self.effective_rto_high_s() / 3.0)
+
+    def effective_header_bytes(self) -> int:
+        """Per-packet header, inflated by 16B under worst-case overheads."""
+        if self.worst_case_overheads:
+            return self.header_bytes + 16
+        return self.header_bytes
+
+    def switch_config(self) -> SwitchConfig:
+        """Build the per-switch configuration implied by this experiment."""
+        buffer_bytes = self.effective_buffer_bytes()
+        ecn_enabled = self.congestion_control in (
+            CongestionControl.DCQCN,
+            CongestionControl.DCTCP,
+        )
+        bdp = max(1, self.bdp_bytes())
+        ecn = EcnConfig(
+            enabled=ecn_enabled,
+            kmin_bytes=max(self.mtu_bytes, bdp // 4),
+            kmax_bytes=max(2 * self.mtu_bytes, bdp),
+            pmax=0.2,
+            step_marking=self.congestion_control is CongestionControl.DCTCP,
+        )
+        pfc = PfcConfig(
+            enabled=self.pfc_enabled,
+            headroom_bytes=min(self.effective_headroom_bytes(), buffer_bytes // 2),
+        )
+        return SwitchConfig(
+            buffer_bytes_per_port=buffer_bytes,
+            pfc=pfc,
+            ecn=ecn,
+        )
+
+    def size_distribution(self) -> Optional[FlowSizeDistribution]:
+        """The flow-size distribution for the background workload."""
+        if self.workload is WorkloadKind.HEAVY_TAILED:
+            return HeavyTailedSizes(scale=self.flow_size_scale)
+        if self.workload is WorkloadKind.UNIFORM:
+            return UniformSizes(self.uniform_low_bytes, self.uniform_high_bytes)
+        if self.workload is WorkloadKind.FIXED:
+            return FixedSizes(self.fixed_size_bytes)
+        return None
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,279 @@
+"""Experiment runner: build the fabric, inject the workload, collect metrics.
+
+``run_experiment`` is the single entry point the examples and every benchmark
+use.  It translates an :class:`ExperimentConfig` into a concrete simulation:
+
+1. build the topology and switch configuration (PFC/ECN settings),
+2. generate the background and/or incast flows,
+3. at each flow's start time, instantiate the configured transport endpoints
+   (with a per-flow congestion-control object when enabled) and register them
+   with the hosts,
+4. run the event loop and return an :class:`ExperimentResult` with the
+   paper's metrics plus fabric statistics (drops, PFC pauses, retransmissions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.congestion.factory import make_congestion_control
+from repro.core.factory import TransportKind, make_flow_endpoints
+from repro.core.irn import IrnConfig
+from repro.core.iwarp import TcpConfig
+from repro.core.roce import RoceConfig
+from repro.core.transport import BaseReceiver, BaseSender, Flow
+from repro.experiments.config import (
+    CongestionControl,
+    ExperimentConfig,
+    TopologyKind,
+    WorkloadKind,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import MetricSummary
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.topology.fattree import build_fat_tree
+from repro.topology.simple import build_dumbbell, build_parking_lot, build_star
+from repro.workload.generator import PoissonWorkload, WorkloadParams
+from repro.workload.incast import build_incast_flows, request_completion_time
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one simulation run."""
+
+    config: ExperimentConfig
+    summary: MetricSummary
+    collector: MetricsCollector
+    flows: List[Flow]
+    #: Simulated time at which the run ended.
+    sim_time_s: float
+    #: Fabric statistics.
+    packets_dropped: int
+    pause_frames: int
+    packets_forwarded: int
+    #: Transport statistics aggregated over all flows.
+    data_packets_sent: int
+    retransmissions: int
+    timeouts: int
+    #: Request completion time of the incast request (if one was configured).
+    incast_rct_s: Optional[float] = None
+    #: Summary restricted to the background traffic (when incast + cross
+    #: traffic are mixed, as in §4.4.3).
+    background_summary: Optional[MetricSummary] = None
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped packets as a fraction of data packets sent."""
+        if self.data_packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.data_packets_sent
+
+    def completion_fraction(self) -> float:
+        """Fraction of injected flows that completed."""
+        if not self.flows:
+            return 0.0
+        return sum(1 for flow in self.flows if flow.completed) / len(self.flows)
+
+
+class _FlowLauncher:
+    """Creates transport endpoints for a flow at its start time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: ExperimentConfig,
+        collector: MetricsCollector,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.collector = collector
+        self.senders: List[BaseSender] = []
+        self.receivers: List[BaseReceiver] = []
+        self._irn_config = self._build_irn_config()
+        self._roce_config = self._build_roce_config()
+        self._tcp_config = self._build_tcp_config()
+        self._cnp_interval = self._cnp_interval_s()
+
+    # ------------------------------------------------------------------
+    # Transport configuration
+    # ------------------------------------------------------------------
+    def _build_irn_config(self) -> IrnConfig:
+        cfg = self.config
+        return IrnConfig(
+            mtu_bytes=cfg.mtu_bytes,
+            header_bytes=cfg.effective_header_bytes(),
+            generate_acks=True,
+            timeouts_enabled=True,
+            bdp_cap_packets=cfg.effective_bdp_cap_packets(),
+            bdp_fc_enabled=True,
+            rto_low_s=cfg.effective_rto_low_s(),
+            rto_high_s=cfg.effective_rto_high_s(),
+            rto_low_threshold_packets=cfg.rto_low_threshold_packets,
+            retransmission_fetch_delay_s=2e-6 if cfg.worst_case_overheads else 0.0,
+        )
+
+    def _build_roce_config(self) -> RoceConfig:
+        cfg = self.config
+        # With PFC the paper's RoCE baseline sends no ACKs and disables
+        # timeouts; without PFC it uses a fixed RTO_high and needs ACKs for
+        # go-back-N progress.  Timely additionally needs per-packet RTT
+        # samples, hence ACKs, regardless of PFC.
+        needs_acks = (not cfg.pfc_enabled) or cfg.congestion_control is CongestionControl.TIMELY
+        return RoceConfig(
+            mtu_bytes=cfg.mtu_bytes,
+            header_bytes=cfg.header_bytes,
+            rto_s=cfg.effective_rto_high_s(),
+            generate_acks=needs_acks,
+            timeouts_enabled=not cfg.pfc_enabled,
+        )
+
+    def _build_tcp_config(self) -> TcpConfig:
+        cfg = self.config
+        return TcpConfig(
+            mtu_bytes=cfg.mtu_bytes,
+            header_bytes=cfg.header_bytes,
+            generate_acks=True,
+            timeouts_enabled=True,
+            rto_low_s=cfg.effective_rto_low_s(),
+            rto_high_s=cfg.effective_rto_high_s(),
+            min_rto_s=cfg.effective_rto_low_s(),
+            initial_rto_s=cfg.effective_rto_high_s(),
+        )
+
+    def _cnp_interval_s(self) -> Optional[float]:
+        if self.config.congestion_control is CongestionControl.DCQCN:
+            return max(self.config.base_rtt_s(), 5e-6)
+        return None
+
+    def _make_cc(self):
+        cfg = self.config
+        if cfg.congestion_control is CongestionControl.NONE:
+            return None
+        return make_congestion_control(
+            cfg.congestion_control.value,
+            line_rate_bps=cfg.link_bandwidth_bps,
+            base_rtt_s=cfg.base_rtt_s() + 8.0 * cfg.mtu_bytes * cfg.max_hop_count() / cfg.link_bandwidth_bps,
+        )
+
+    # ------------------------------------------------------------------
+    # Flow lifecycle
+    # ------------------------------------------------------------------
+    def launch(self, flow: Flow) -> None:
+        src_host = self.network.hosts[flow.src]
+        dst_host = self.network.hosts[flow.dst]
+
+        def on_sender_complete(completed_flow: Flow, now: float) -> None:
+            src_host.deregister_sender(completed_flow.flow_id)
+
+        sender, receiver = make_flow_endpoints(
+            self.sim,
+            src_host,
+            flow,
+            self.config.transport,
+            irn_config=self._irn_config,
+            roce_config=self._roce_config,
+            tcp_config=self._tcp_config,
+            congestion_control=self._make_cc(),
+            cnp_interval_s=self._cnp_interval,
+            on_sender_complete=on_sender_complete,
+            on_receiver_complete=self.collector.on_flow_complete,
+        )
+        dst_host.register_receiver(receiver)
+        src_host.register_sender(sender)
+        self.senders.append(sender)
+        self.receivers.append(receiver)
+
+
+def _build_network(sim: Simulator, config: ExperimentConfig) -> Network:
+    switch_config = config.switch_config()
+    if config.topology is TopologyKind.FAT_TREE:
+        return build_fat_tree(sim, config.fat_tree_params(), switch_config)
+    if config.topology is TopologyKind.STAR:
+        return build_star(
+            sim, config.num_hosts, config.link_bandwidth_bps, config.link_delay_s, switch_config
+        )
+    if config.topology is TopologyKind.DUMBBELL:
+        return build_dumbbell(
+            sim,
+            max(1, config.num_hosts // 2),
+            config.link_bandwidth_bps,
+            link_delay_s=config.link_delay_s,
+            switch_config=switch_config,
+        )
+    if config.topology is TopologyKind.PARKING_LOT:
+        return build_parking_lot(
+            sim,
+            bandwidth_bps=config.link_bandwidth_bps,
+            link_delay_s=config.link_delay_s,
+            switch_config=switch_config,
+        )
+    raise ValueError(f"unsupported topology {config.topology!r}")
+
+
+def _generate_flows(config: ExperimentConfig, network: Network) -> List[Flow]:
+    flows: List[Flow] = []
+    hosts = list(network.hosts.keys())
+    sizes = config.size_distribution()
+    if config.workload is not WorkloadKind.NONE and config.num_flows > 0 and sizes is not None:
+        params = WorkloadParams(
+            target_load=config.target_load,
+            link_bandwidth_bps=config.link_bandwidth_bps,
+            sizes=sizes,
+            num_flows=config.num_flows,
+            seed=config.seed,
+        )
+        flows.extend(PoissonWorkload(params, hosts).generate(first_flow_id=0))
+    if config.incast is not None:
+        flows.extend(
+            build_incast_flows(config.incast, hosts, first_flow_id=len(flows) + 1_000_000)
+        )
+    if not flows:
+        raise ValueError("experiment generates no flows")
+    return flows
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one simulation described by ``config`` and collect its metrics."""
+    sim = Simulator(seed=config.seed)
+    network = _build_network(sim, config)
+    collector = MetricsCollector(
+        network, mtu_bytes=config.mtu_bytes, header_bytes=config.effective_header_bytes()
+    )
+    launcher = _FlowLauncher(sim, network, config, collector)
+    flows = _generate_flows(config, network)
+
+    for flow in flows:
+        sim.schedule_at(flow.start_time, launcher.launch, flow)
+
+    sim.run(until=config.max_sim_time_s, max_events=config.max_events)
+
+    incast_rct: Optional[float] = None
+    background_summary: Optional[MetricSummary] = None
+    if config.incast is not None:
+        incast_flows = [flow for flow in flows if flow.group == "incast"]
+        if incast_flows and all(flow.completed for flow in incast_flows):
+            incast_rct = request_completion_time(flows)
+        if any(record.flow.group == "background" for record in collector.records):
+            background_summary = collector.summary(group="background")
+
+    summary = collector.summary() if collector.records else MetricSummary(0.0, 0.0, 0.0, 0)
+
+    return ExperimentResult(
+        config=config,
+        summary=summary,
+        collector=collector,
+        flows=flows,
+        sim_time_s=sim.now,
+        packets_dropped=network.total_dropped_packets(),
+        pause_frames=network.total_pause_frames(),
+        packets_forwarded=network.total_forwarded_packets(),
+        data_packets_sent=sum(sender.packets_sent for sender in launcher.senders),
+        retransmissions=sum(sender.retransmissions for sender in launcher.senders),
+        timeouts=sum(sender.timeouts_fired for sender in launcher.senders),
+        incast_rct_s=incast_rct,
+        background_summary=background_summary,
+    )

@@ -1,0 +1,380 @@
+"""Scenario presets for every figure and table in the paper.
+
+Each ``figN_configs`` / ``tableN_configs`` function returns an ordered
+mapping from a human-readable label (matching the paper's legend) to an
+:class:`ExperimentConfig`.  Benchmarks run the configs and print the
+regenerated rows; EXPERIMENTS.md records how the measured shapes compare to
+the paper.
+
+The *scaled default scenario* mirrors the paper's default (three-tier
+fat-tree, heavy-tailed workload at 70% load, buffers of twice the BDP, ECMP)
+but shrinks the fabric and flow sizes so a pure-Python packet simulation
+finishes in seconds; see DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.factory import TransportKind
+from repro.experiments.config import (
+    CongestionControl,
+    ExperimentConfig,
+    TopologyKind,
+    WorkloadKind,
+)
+from repro.workload.incast import IncastParams
+
+
+#: Flow count used by the scaled-down default scenario.
+DEFAULT_NUM_FLOWS = 250
+#: Scale factor applied to the heavy-tailed flow-size bands.
+DEFAULT_SIZE_SCALE = 0.2
+
+
+def default_config(
+    transport: TransportKind = TransportKind.IRN,
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    pfc_enabled: bool = False,
+    name: Optional[str] = None,
+    num_flows: int = DEFAULT_NUM_FLOWS,
+    seed: int = 1,
+    **overrides,
+) -> ExperimentConfig:
+    """The scaled-down version of the paper's default scenario (§4.1)."""
+    config = ExperimentConfig(
+        name=name or f"{transport.value}-{congestion_control.value}-{'pfc' if pfc_enabled else 'nopfc'}",
+        topology=TopologyKind.FAT_TREE,
+        fat_tree_k=4,
+        link_bandwidth_bps=10e9,
+        link_delay_s=1e-6,
+        pfc_enabled=pfc_enabled,
+        transport=transport,
+        congestion_control=congestion_control,
+        workload=WorkloadKind.HEAVY_TAILED,
+        target_load=0.7,
+        num_flows=num_flows,
+        flow_size_scale=DEFAULT_SIZE_SCALE,
+        seed=seed,
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+# ---------------------------------------------------------------------------
+# §4.2 basic results
+# ---------------------------------------------------------------------------
+def fig1_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 1: IRN (without PFC) vs RoCE (with PFC), no congestion control."""
+    return {
+        "RoCE (with PFC)": default_config(TransportKind.ROCE, pfc_enabled=True, **overrides),
+        "IRN (without PFC)": default_config(TransportKind.IRN, pfc_enabled=False, **overrides),
+    }
+
+
+def fig2_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 2: impact of enabling PFC with IRN."""
+    return {
+        "IRN with PFC": default_config(TransportKind.IRN, pfc_enabled=True, **overrides),
+        "IRN (without PFC)": default_config(TransportKind.IRN, pfc_enabled=False, **overrides),
+    }
+
+
+def fig3_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 3: impact of disabling PFC with RoCE."""
+    return {
+        "RoCE (with PFC)": default_config(TransportKind.ROCE, pfc_enabled=True, **overrides),
+        "RoCE without PFC": default_config(TransportKind.ROCE, pfc_enabled=False, **overrides),
+    }
+
+
+def _cc_pair(
+    transport_a: TransportKind,
+    pfc_a: bool,
+    label_a: str,
+    transport_b: TransportKind,
+    pfc_b: bool,
+    label_b: str,
+    congestion_controls: Sequence[CongestionControl],
+    **overrides,
+) -> Dict[str, ExperimentConfig]:
+    configs: Dict[str, ExperimentConfig] = {}
+    for cc in congestion_controls:
+        configs[f"{label_a} +{cc.value}"] = default_config(
+            transport_a, cc, pfc_enabled=pfc_a, **overrides
+        )
+        configs[f"{label_b} +{cc.value}"] = default_config(
+            transport_b, cc, pfc_enabled=pfc_b, **overrides
+        )
+    return configs
+
+
+def fig4_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 4: IRN vs RoCE with Timely and DCQCN."""
+    return _cc_pair(
+        TransportKind.ROCE, True, "RoCE",
+        TransportKind.IRN, False, "IRN",
+        (CongestionControl.TIMELY, CongestionControl.DCQCN),
+        **overrides,
+    )
+
+
+def fig5_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 5: impact of enabling PFC with IRN under Timely and DCQCN."""
+    return _cc_pair(
+        TransportKind.IRN, True, "IRN with PFC",
+        TransportKind.IRN, False, "IRN",
+        (CongestionControl.TIMELY, CongestionControl.DCQCN),
+        **overrides,
+    )
+
+
+def fig6_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 6: impact of disabling PFC with RoCE under Timely and DCQCN."""
+    return _cc_pair(
+        TransportKind.ROCE, True, "RoCE with PFC",
+        TransportKind.ROCE, False, "RoCE without PFC",
+        (CongestionControl.TIMELY, CongestionControl.DCQCN),
+        **overrides,
+    )
+
+
+# ---------------------------------------------------------------------------
+# §4.3 factor analysis
+# ---------------------------------------------------------------------------
+def fig7_configs(
+    congestion_control: CongestionControl = CongestionControl.NONE, **overrides
+) -> Dict[str, ExperimentConfig]:
+    """Figure 7: IRN vs IRN-with-go-back-N vs IRN-without-BDP-FC."""
+    return {
+        "IRN": default_config(TransportKind.IRN, congestion_control, False, **overrides),
+        "IRN with Go-Back-N": default_config(
+            TransportKind.IRN_GO_BACK_N, congestion_control, False, **overrides
+        ),
+        "IRN without BDP-FC": default_config(
+            TransportKind.IRN_NO_BDPFC, congestion_control, False, **overrides
+        ),
+    }
+
+
+def no_sack_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """§4.3(2): selective retransmission without SACK state vs full IRN."""
+    return {
+        "IRN": default_config(TransportKind.IRN, pfc_enabled=False, **overrides),
+        "IRN without SACK": default_config(TransportKind.IRN_NO_SACK, pfc_enabled=False, **overrides),
+    }
+
+
+# ---------------------------------------------------------------------------
+# §4.4 robustness and tail latency
+# ---------------------------------------------------------------------------
+def fig8_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 8: tail latency of single-packet messages, per CC scheme."""
+    configs: Dict[str, ExperimentConfig] = {}
+    for cc in (CongestionControl.NONE, CongestionControl.TIMELY, CongestionControl.DCQCN):
+        configs[f"RoCE (with PFC) +{cc.value}"] = default_config(
+            TransportKind.ROCE, cc, True, **overrides
+        )
+        configs[f"IRN with PFC +{cc.value}"] = default_config(
+            TransportKind.IRN, cc, True, **overrides
+        )
+        configs[f"IRN (without PFC) +{cc.value}"] = default_config(
+            TransportKind.IRN, cc, False, **overrides
+        )
+    return configs
+
+
+def fig9_configs(
+    fan_ins: Iterable[int] = (5, 10, 20),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    total_bytes: int = 3_000_000,
+    **overrides,
+) -> Dict[str, ExperimentConfig]:
+    """Figure 9: incast request completion time, IRN vs RoCE, vs fan-in M."""
+    configs: Dict[str, ExperimentConfig] = {}
+    for fan_in in fan_ins:
+        incast = IncastParams(total_bytes=total_bytes, fan_in=fan_in, destination="h0")
+        common = dict(
+            workload=WorkloadKind.NONE,
+            num_flows=0,
+            incast=incast,
+        )
+        common.update(overrides)
+        configs[f"RoCE M={fan_in}"] = default_config(
+            TransportKind.ROCE, congestion_control, True,
+            name=f"incast-roce-m{fan_in}", **common,
+        )
+        configs[f"IRN M={fan_in}"] = default_config(
+            TransportKind.IRN, congestion_control, False,
+            name=f"incast-irn-m{fan_in}", **common,
+        )
+    return configs
+
+
+def incast_with_cross_traffic_configs(
+    fan_in: int = 10,
+    total_bytes: int = 3_000_000,
+    **overrides,
+) -> Dict[str, ExperimentConfig]:
+    """§4.4.3: incast plus a 50%-load background workload."""
+    incast = IncastParams(total_bytes=total_bytes, fan_in=fan_in, destination="h0", start_time=1e-4)
+    common = dict(target_load=0.5, incast=incast)
+    common.update(overrides)
+    return {
+        "RoCE (with PFC)": default_config(TransportKind.ROCE, pfc_enabled=True, **common),
+        "IRN (without PFC)": default_config(TransportKind.IRN, pfc_enabled=False, **common),
+    }
+
+
+# ---------------------------------------------------------------------------
+# §4.5 / §4.6 comparisons with Resilient RoCE and iWARP
+# ---------------------------------------------------------------------------
+def fig10_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 10: Resilient RoCE (RoCE+DCQCN without PFC) vs plain IRN."""
+    return {
+        "Resilient RoCE": default_config(
+            TransportKind.ROCE, CongestionControl.DCQCN, False, **overrides
+        ),
+        "IRN": default_config(TransportKind.IRN, CongestionControl.NONE, False, **overrides),
+    }
+
+
+def fig11_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 11: iWARP's TCP stack vs IRN (no explicit congestion control)."""
+    return {
+        "iWARP": default_config(TransportKind.IWARP, CongestionControl.NONE, False, **overrides),
+        "IRN": default_config(TransportKind.IRN, CongestionControl.NONE, False, **overrides),
+        "IRN + AIMD": default_config(TransportKind.IRN, CongestionControl.AIMD, False, **overrides),
+    }
+
+
+def fig12_configs(
+    congestion_control: CongestionControl = CongestionControl.NONE, **overrides
+) -> Dict[str, ExperimentConfig]:
+    """Figure 12: IRN with worst-case implementation overheads (§6.3)."""
+    return {
+        "RoCE (with PFC)": default_config(
+            TransportKind.ROCE, congestion_control, True, **overrides
+        ),
+        "IRN (no overheads)": default_config(
+            TransportKind.IRN, congestion_control, False, **overrides
+        ),
+        "IRN (worst-case overheads)": default_config(
+            TransportKind.IRN, congestion_control, False, worst_case_overheads=True, **overrides
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Appendix A sweeps (Tables 3-9)
+# ---------------------------------------------------------------------------
+def _comparison_triple(
+    congestion_control: CongestionControl, **overrides
+) -> Dict[str, ExperimentConfig]:
+    """IRN (no PFC), IRN + PFC and RoCE + PFC -- the appendix table columns."""
+    return {
+        "IRN": default_config(TransportKind.IRN, congestion_control, False, **overrides),
+        "IRN+PFC": default_config(TransportKind.IRN, congestion_control, True, **overrides),
+        "RoCE+PFC": default_config(TransportKind.ROCE, congestion_control, True, **overrides),
+    }
+
+
+def table3_configs(
+    utilizations: Iterable[float] = (0.3, 0.5, 0.7, 0.9),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 3: link utilization sweep."""
+    return {
+        f"{int(util * 100)}%": _comparison_triple(
+            congestion_control, target_load=util, **overrides
+        )
+        for util in utilizations
+    }
+
+
+def table4_configs(
+    bandwidths_gbps: Iterable[float] = (5, 10, 25),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 4: link bandwidth sweep (paper: 10/40/100 Gbps)."""
+    return {
+        f"{int(bw)}Gbps": _comparison_triple(
+            congestion_control, link_bandwidth_bps=bw * 1e9, **overrides
+        )
+        for bw in bandwidths_gbps
+    }
+
+
+def table5_configs(
+    arities: Iterable[int] = (4, 6),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 5: fat-tree scale sweep (paper: k = 6, 8, 10)."""
+    return {
+        f"k={k} ({k ** 3 // 4} hosts)": _comparison_triple(
+            congestion_control, fat_tree_k=k, **overrides
+        )
+        for k in arities
+    }
+
+
+def table6_configs(
+    congestion_control: CongestionControl = CongestionControl.NONE, **overrides
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 6: heavy-tailed vs uniform workload."""
+    return {
+        "Heavy-tailed": _comparison_triple(congestion_control, **overrides),
+        "Uniform": _comparison_triple(
+            congestion_control,
+            workload=WorkloadKind.UNIFORM,
+            uniform_low_bytes=50_000,
+            uniform_high_bytes=500_000,
+            **overrides,
+        ),
+    }
+
+
+def table7_configs(
+    buffer_bytes: Iterable[int] = (15_000, 30_000, 60_000),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 7: per-port buffer size sweep (paper: 60-480 KB at 40 Gbps)."""
+    return {
+        f"{size // 1000}KB": _comparison_triple(
+            congestion_control, buffer_bytes_per_port=size, **overrides
+        )
+        for size in buffer_bytes
+    }
+
+
+def table8_configs(
+    rto_high_values_s: Iterable[float] = (320e-6, 640e-6, 1280e-6),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 8: RTO_high sweep."""
+    return {
+        f"{int(value * 1e6)}us": _comparison_triple(
+            congestion_control, rto_high_s=value, **overrides
+        )
+        for value in rto_high_values_s
+    }
+
+
+def table9_configs(
+    n_values: Iterable[int] = (3, 10, 15),
+    congestion_control: CongestionControl = CongestionControl.NONE,
+    **overrides,
+) -> Dict[str, Dict[str, ExperimentConfig]]:
+    """Table 9: threshold N for using RTO_low."""
+    return {
+        f"N={n}": _comparison_triple(
+            congestion_control, rto_low_threshold_packets=n, **overrides
+        )
+        for n in n_values
+    }

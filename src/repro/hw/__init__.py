@@ -1,0 +1,31 @@
+"""NIC hardware models (§6): bitmaps, packet-processing modules, state and
+FPGA resource accounting, and the raw iWARP-vs-RoCE NIC pipeline model."""
+
+from repro.hw.bitmap import RingBitmap, TwoBitmap
+from repro.hw.packet_modules import (
+    QpContext,
+    ReceiveAckModule,
+    ReceiveDataModule,
+    TimeoutModule,
+    TxFreeModule,
+)
+from repro.hw.nic_state import IrnStateOverhead, NicStateParams
+from repro.hw.fpga_model import FpgaSynthesisModel, ModuleEstimate
+from repro.hw.nic_model import NicPipelineModel, NicKind, raw_performance_table
+
+__all__ = [
+    "RingBitmap",
+    "TwoBitmap",
+    "QpContext",
+    "ReceiveDataModule",
+    "TxFreeModule",
+    "ReceiveAckModule",
+    "TimeoutModule",
+    "IrnStateOverhead",
+    "NicStateParams",
+    "FpgaSynthesisModel",
+    "ModuleEstimate",
+    "NicPipelineModel",
+    "NicKind",
+    "raw_performance_table",
+]

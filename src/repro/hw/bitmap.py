@@ -1,0 +1,167 @@
+"""BDP-sized ring-buffer bitmaps (§6.2.1).
+
+IRN's per-packet processing reduces to three bitmap operations on ring
+buffers whose head corresponds to the expected sequence number (receiver) or
+the cumulative acknowledgement (sender):
+
+* *find first zero* -- next expected sequence / next packet to retransmit,
+* *popcount* of a prefix -- MSN increment and number of Receive WQEs to expire,
+* *bit shifts* -- advancing the head when the cumulative ack moves.
+
+As in the paper's FPGA implementation, the bitmap is stored in 32-bit chunks
+that can be scanned in parallel; the chunked layout is kept here so the FPGA
+resource model can count chunk operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+CHUNK_BITS = 32
+
+
+class RingBitmap:
+    """A fixed-capacity bitmap over a sliding window of sequence numbers.
+
+    ``head_seq`` is the sequence number of bit 0.  Bits may only be set for
+    sequence numbers in ``[head_seq, head_seq + capacity)``.
+    """
+
+    def __init__(self, capacity_bits: int = 128, head_seq: int = 0) -> None:
+        if capacity_bits <= 0:
+            raise ValueError("bitmap capacity must be positive")
+        self.capacity = capacity_bits
+        self.head_seq = head_seq
+        self._bits = 0
+        #: Number of 32-bit chunks (drives the FPGA resource model).
+        self.num_chunks = (capacity_bits + CHUNK_BITS - 1) // CHUNK_BITS
+
+    # ------------------------------------------------------------------
+    def _index(self, seq: int) -> int:
+        offset = seq - self.head_seq
+        if offset < 0 or offset >= self.capacity:
+            raise IndexError(
+                f"sequence {seq} outside bitmap window [{self.head_seq}, "
+                f"{self.head_seq + self.capacity})"
+            )
+        return offset
+
+    def set(self, seq: int) -> None:
+        """Mark ``seq`` as received/acknowledged."""
+        self._bits |= 1 << self._index(seq)
+
+    def clear(self, seq: int) -> None:
+        """Clear the bit for ``seq``."""
+        self._bits &= ~(1 << self._index(seq))
+
+    def test(self, seq: int) -> bool:
+        """Whether the bit for ``seq`` is set."""
+        return bool((self._bits >> self._index(seq)) & 1)
+
+    def in_window(self, seq: int) -> bool:
+        """Whether ``seq`` falls inside the bitmap's current window."""
+        return self.head_seq <= seq < self.head_seq + self.capacity
+
+    # ------------------------------------------------------------------
+    # The three §6.2.1 operations
+    # ------------------------------------------------------------------
+    def find_first_zero(self) -> int:
+        """Offset of the first unset bit (capacity if every bit is set)."""
+        bits = self._bits
+        for chunk_index in range(self.num_chunks):
+            chunk = (bits >> (chunk_index * CHUNK_BITS)) & (2 ** CHUNK_BITS - 1)
+            if chunk != 2 ** CHUNK_BITS - 1:
+                # Scan inside the chunk.
+                for bit in range(CHUNK_BITS):
+                    offset = chunk_index * CHUNK_BITS + bit
+                    if offset >= self.capacity:
+                        return self.capacity
+                    if not (chunk >> bit) & 1:
+                        return offset
+        return self.capacity
+
+    def popcount_prefix(self, length: Optional[int] = None) -> int:
+        """Number of set bits in the first ``length`` positions."""
+        if length is None:
+            length = self.capacity
+        length = min(length, self.capacity)
+        mask = (1 << length) - 1
+        return (self._bits & mask).bit_count()
+
+    def shift(self, count: int) -> int:
+        """Advance the head by ``count`` positions; returns bits shifted out."""
+        if count < 0:
+            raise ValueError("cannot shift backwards")
+        count = min(count, self.capacity)
+        shifted_out = (self._bits & ((1 << count) - 1)).bit_count()
+        self._bits >>= count
+        self.head_seq += count
+        return shifted_out
+
+    def advance_head_to(self, seq: int) -> int:
+        """Slide the window forward so bit 0 corresponds to ``seq``."""
+        if seq < self.head_seq:
+            raise ValueError("cannot move the head backwards")
+        return self.shift(seq - self.head_seq)
+
+    # ------------------------------------------------------------------
+    def set_bits(self) -> List[int]:
+        """Sequence numbers currently marked (ascending)."""
+        return [
+            self.head_seq + offset
+            for offset in range(self.capacity)
+            if (self._bits >> offset) & 1
+        ]
+
+    def occupancy(self) -> int:
+        """Number of bits currently set."""
+        return self._bits.bit_count()
+
+    def storage_bits(self) -> int:
+        """NIC storage consumed by the bitmap."""
+        return self.num_chunks * CHUNK_BITS
+
+
+class TwoBitmap:
+    """The responder's 2-bitmap (§5.3.3).
+
+    For every sequence number in the window it tracks (a) whether the packet
+    has arrived and (b) whether it is the last packet of a message whose
+    completion actions must fire once all earlier packets have arrived.
+    """
+
+    def __init__(self, capacity_bits: int = 128, head_seq: int = 0) -> None:
+        self.arrived = RingBitmap(capacity_bits, head_seq)
+        self.is_last = RingBitmap(capacity_bits, head_seq)
+
+    @property
+    def head_seq(self) -> int:
+        return self.arrived.head_seq
+
+    def record(self, seq: int, last_of_message: bool) -> None:
+        """Record an arrival (and whether it ends a message)."""
+        self.arrived.set(seq)
+        if last_of_message:
+            self.is_last.set(seq)
+
+    def test(self, seq: int) -> bool:
+        return self.arrived.test(seq)
+
+    def in_window(self, seq: int) -> bool:
+        return self.arrived.in_window(seq)
+
+    def advance(self) -> tuple[int, int]:
+        """Advance past the contiguous received prefix.
+
+        Returns ``(packets_passed, messages_completed)``: the number of
+        positions the head moved and how many of them were last-of-message
+        packets (the MSN increment / number of Receive WQEs to expire).
+        """
+        prefix = self.arrived.find_first_zero()
+        messages = self.is_last.popcount_prefix(prefix)
+        self.arrived.shift(prefix)
+        self.is_last.shift(prefix)
+        return prefix, messages
+
+    def storage_bits(self) -> int:
+        return self.arrived.storage_bits() + self.is_last.storage_bits()

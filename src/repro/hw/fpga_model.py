@@ -1,0 +1,113 @@
+"""FPGA synthesis estimates for IRN's packet-processing modules (Table 2).
+
+We obviously cannot run Vivado here, so this module is an analytical stand-in
+calibrated to the paper's published synthesis results on the Kintex
+UltraScale KU060: resource usage and latency are expressed per 32-bit bitmap
+chunk, anchored so a 128-bit bitmap (the 40 Gbps BDP cap) reproduces the
+Table 2 numbers, and scaled up for wider bitmaps (the paper reports that the
+100 Gbps configuration roughly doubles resource usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+#: Device totals for the Kintex UltraScale XCKU060.
+KU060_FLIP_FLOPS = 663_360
+KU060_LUTS = 331_680
+
+#: Table 2 anchor points for a 128-bit bitmap (fractions of device resources,
+#: worst-case latency in ns and minimum throughput in Mpps).
+_TABLE2_ANCHORS: Dict[str, Dict[str, float]] = {
+    "receiveData": {"ff": 0.0062, "lut": 0.0193, "latency_ns": 16.5, "throughput_mpps": 45.45},
+    "txFree": {"ff": 0.0032, "lut": 0.0095, "latency_ns": 15.9, "throughput_mpps": 47.17},
+    "receiveAck": {"ff": 0.0040, "lut": 0.0105, "latency_ns": 15.96, "throughput_mpps": 46.99},
+    "timeout": {"ff": 0.0001, "lut": 0.0008, "latency_ns": 6.3, "throughput_mpps": 318.47},
+}
+
+#: Fraction of each module's resources that scales with the bitmap width
+#: (the rest is fixed control logic).  The timeout module has no bitmap.
+_BITMAP_SCALED_FRACTION: Dict[str, float] = {
+    "receiveData": 0.75,
+    "txFree": 0.7,
+    "receiveAck": 0.7,
+    "timeout": 0.0,
+}
+
+_REFERENCE_CHUNKS = 4  # 128-bit bitmaps = four 32-bit chunks
+
+
+@dataclass
+class ModuleEstimate:
+    """Synthesis estimate for one packet-processing module."""
+
+    name: str
+    flip_flop_fraction: float
+    lut_fraction: float
+    latency_ns: float
+    throughput_mpps: float
+
+    @property
+    def flip_flops(self) -> int:
+        return int(self.flip_flop_fraction * KU060_FLIP_FLOPS)
+
+    @property
+    def luts(self) -> int:
+        return int(self.lut_fraction * KU060_LUTS)
+
+    def sustains_line_rate(self, bandwidth_bps: float, mtu_bytes: int = 1000) -> bool:
+        """Whether the module's packet rate sustains MTU packets at line rate."""
+        required_mpps = bandwidth_bps / (mtu_bytes * 8.0) / 1e6
+        return self.throughput_mpps >= required_mpps
+
+
+class FpgaSynthesisModel:
+    """Scales the Table 2 anchors to an arbitrary bitmap size."""
+
+    def __init__(self, bitmap_bits: int = 128) -> None:
+        if bitmap_bits <= 0:
+            raise ValueError("bitmap size must be positive")
+        self.bitmap_bits = bitmap_bits
+        self.num_chunks = max(1, (bitmap_bits + 31) // 32)
+
+    def estimate(self, module: str) -> ModuleEstimate:
+        """Estimate resources/latency/throughput for one module."""
+        try:
+            anchor = _TABLE2_ANCHORS[module]
+        except KeyError as exc:
+            raise KeyError(f"unknown module {module!r}") from exc
+        scale = self.num_chunks / _REFERENCE_CHUNKS
+        scaled_fraction = _BITMAP_SCALED_FRACTION[module]
+
+        def grow(value: float) -> float:
+            return value * ((1.0 - scaled_fraction) + scaled_fraction * scale)
+
+        # Latency grows logarithmically with chunk count (parallel scan tree);
+        # throughput is its inverse behaviour, bounded by the anchor.
+        import math
+
+        latency_scale = 1.0 + 0.15 * math.log2(max(1.0, scale)) if scale > 1 else 1.0
+        return ModuleEstimate(
+            name=module,
+            flip_flop_fraction=grow(anchor["ff"]),
+            lut_fraction=grow(anchor["lut"]),
+            latency_ns=anchor["latency_ns"] * latency_scale,
+            throughput_mpps=anchor["throughput_mpps"] / latency_scale,
+        )
+
+    def table(self) -> List[ModuleEstimate]:
+        """Estimates for all four modules (the rows of Table 2)."""
+        return [self.estimate(name) for name in _TABLE2_ANCHORS]
+
+    def totals(self) -> ModuleEstimate:
+        """Aggregate resource usage and bottleneck throughput."""
+        rows = self.table()
+        return ModuleEstimate(
+            name="total",
+            flip_flop_fraction=sum(row.flip_flop_fraction for row in rows),
+            lut_fraction=sum(row.lut_fraction for row in rows),
+            latency_ns=max(row.latency_ns for row in rows),
+            throughput_mpps=min(row.throughput_mpps for row in rows),
+        )

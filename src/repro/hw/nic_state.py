@@ -1,0 +1,111 @@
+"""NIC state overhead accounting (§6.1).
+
+The paper itemizes the additional state IRN adds to a RoCE NIC:
+
+* 52 bits of per-QP transport state at each of the requester and responder
+  (24 bits each for the retransmission and recovery sequences plus 4 flag
+  bits), plus 56 bits at the responder for the Read timeout timer and the
+  in-progress Read tracking -- 160 bits per QP in total;
+* five BDP-sized bitmaps per QP (the responder's 2-bitmap, the requester's
+  Read-response bitmap and one SACK bitmap at each end);
+* 3 bytes of WQE sequence numbers per WQE;
+* 10 bytes of state shared across QPs (the BDP cap, RTO_low and N).
+
+This module reproduces that arithmetic so the "3-10% of NIC cache" claim can
+be regenerated for arbitrary QP/WQE counts and link speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NicStateParams:
+    """Inputs to the state-overhead model."""
+
+    num_qps: int = 2000
+    num_wqes: int = 20_000
+    #: Link bandwidth and worst-case two-way propagation delay used to size
+    #: the BDP bitmaps (the paper uses 40/100 Gbps and 24 us).
+    link_bandwidth_bps: float = 40e9
+    round_trip_delay_s: float = 24e-6
+    mtu_bytes: int = 1000
+    #: NIC cache available for metadata (Mellanox NICs have "several MBs").
+    nic_cache_bytes: int = 4 * 1024 * 1024
+    #: Current per-WQE context size on RoCE NICs.
+    base_wqe_context_bytes: int = 64
+
+
+@dataclass
+class IrnStateOverhead:
+    """Computed overhead breakdown."""
+
+    bdp_cap_packets: int
+    bitmap_bits_each: int
+    per_qp_state_bits: int
+    per_qp_bitmap_bits: int
+    per_qp_total_bits: int
+    per_wqe_bytes: int
+    shared_bytes: int
+    total_bytes: int
+    fraction_of_cache: float
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Human-readable breakdown (used by the benchmark harness)."""
+        return [
+            ("BDP cap (packets)", str(self.bdp_cap_packets)),
+            ("Bitmap size (bits each)", str(self.bitmap_bits_each)),
+            ("Per-QP state (bits)", str(self.per_qp_state_bits)),
+            ("Per-QP bitmaps (bits)", str(self.per_qp_bitmap_bits)),
+            ("Per-QP total (bits)", str(self.per_qp_total_bits)),
+            ("Per-WQE overhead (bytes)", str(self.per_wqe_bytes)),
+            ("Shared state (bytes)", str(self.shared_bytes)),
+            ("Total additional state (bytes)", str(self.total_bytes)),
+            ("Fraction of NIC cache", f"{self.fraction_of_cache:.1%}"),
+        ]
+
+
+#: Per-QP transport state bits: 24 (retransmission sequence) + 24 (recovery
+#: sequence) + 4 (flags) at each end.
+REQUESTER_STATE_BITS = 52
+RESPONDER_STATE_BITS = 52
+#: Read timeout timer + in-progress Read tracking at the responder.
+RESPONDER_READ_STATE_BITS = 56
+#: Number of BDP-sized bitmaps per QP (2-bitmap at the responder, Read
+#: response bitmap at the requester, one SACK bitmap at each end).
+BITMAPS_PER_QP = 5
+#: WQE sequence numbers added to each WQE context.
+PER_WQE_OVERHEAD_BYTES = 3
+#: BDP cap, RTO_low and N shared across QPs.
+SHARED_STATE_BYTES = 10
+
+
+def compute_state_overhead(params: NicStateParams | None = None) -> IrnStateOverhead:
+    """Reproduce the §6.1 accounting for the given NIC parameters."""
+    params = params or NicStateParams()
+    bdp_bytes = params.link_bandwidth_bps * params.round_trip_delay_s / 8.0
+    bdp_cap = max(1, int(bdp_bytes // params.mtu_bytes))
+    # Bitmaps are sized to the next multiple of 32 bits (the chunk width).
+    bitmap_bits = ((bdp_cap + 31) // 32) * 32
+
+    per_qp_state = REQUESTER_STATE_BITS + RESPONDER_STATE_BITS + RESPONDER_READ_STATE_BITS
+    per_qp_bitmaps = BITMAPS_PER_QP * bitmap_bits
+    per_qp_total = per_qp_state + per_qp_bitmaps
+
+    total_bits = params.num_qps * per_qp_total
+    total_bytes = total_bits / 8.0
+    total_bytes += params.num_wqes * PER_WQE_OVERHEAD_BYTES
+    total_bytes += SHARED_STATE_BYTES
+
+    return IrnStateOverhead(
+        bdp_cap_packets=bdp_cap,
+        bitmap_bits_each=bitmap_bits,
+        per_qp_state_bits=per_qp_state,
+        per_qp_bitmap_bits=per_qp_bitmaps,
+        per_qp_total_bits=per_qp_total,
+        per_wqe_bytes=PER_WQE_OVERHEAD_BYTES,
+        shared_bytes=SHARED_STATE_BYTES,
+        total_bytes=int(total_bytes),
+        fraction_of_cache=total_bytes / params.nic_cache_bytes,
+    )

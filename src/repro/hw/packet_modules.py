@@ -1,0 +1,225 @@
+"""The four IRN packet-processing modules synthesized in §6.2.
+
+Each module is modelled exactly as in the paper's HLS implementation: it
+receives the relevant packet metadata and the queue-pair context as inputs,
+manipulates the BDP-sized bitmaps, and returns the updated context together
+with its module-specific outputs:
+
+* ``receiveData`` -- triggered on a data-packet arrival; outputs the
+  information needed to generate an ACK/NACK and the number of Receive WQEs
+  to expire (MSN increment).
+* ``txFree`` -- triggered when the link is free; outputs the sequence number
+  to (re)transmit, performing the SACK-bitmap look-ahead during recovery.
+* ``receiveAck`` -- triggered on ACK/NACK arrival; updates the SACK bitmap
+  and the cumulative acknowledgement.
+* ``timeout`` -- triggered when the timer fires with the RTO_low value; if
+  the RTO_low condition no longer holds it asks for the timer to be extended
+  to RTO_high, otherwise it executes the timeout action.
+
+The modules also count the bitmap operations they perform so the FPGA
+resource/latency model can be driven from real event traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.bitmap import RingBitmap, TwoBitmap
+
+
+@dataclass
+class QpContext:
+    """The per-QP context streamed in and out of every module."""
+
+    #: BDP cap in packets; sizes every bitmap.
+    bdp_cap: int = 128
+
+    # Requester-side state.
+    snd_una: int = 0                 # cumulative acknowledgement
+    snd_nxt: int = 0                 # next new sequence to send
+    highest_sent: int = 0
+    in_recovery: bool = False
+    recovery_seq: int = 0
+    retransmit_scan: int = 0
+    #: N and the two static timeout values (§3.1).
+    rto_low_threshold: int = 3
+    rto_low_armed: bool = True
+
+    # Responder-side state.
+    expected_psn: int = 0
+    msn: int = 0
+
+    # Bitmaps (allocated lazily so a context is cheap to create).
+    sack_bitmap: RingBitmap = field(default=None)        # type: ignore[assignment]
+    receive_bitmap: TwoBitmap = field(default=None)      # type: ignore[assignment]
+
+    # Operation counters (consumed by the FPGA model).
+    find_first_zero_ops: int = 0
+    popcount_ops: int = 0
+    shift_ops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sack_bitmap is None:
+            self.sack_bitmap = RingBitmap(self.bdp_cap, head_seq=self.snd_una)
+        if self.receive_bitmap is None:
+            self.receive_bitmap = TwoBitmap(self.bdp_cap, head_seq=self.expected_psn)
+
+    def in_flight(self) -> int:
+        return max(0, self.snd_nxt - self.snd_una)
+
+
+@dataclass
+class ReceiveDataOutput:
+    """Outputs of the receiveData module."""
+
+    send_ack: bool
+    send_nack: bool
+    ack_psn: int
+    sack_psn: Optional[int]
+    msn_increment: int
+    receive_wqes_to_expire: int
+    duplicate: bool = False
+
+
+class ReceiveDataModule:
+    """Responder-side handling of an arriving data packet."""
+
+    def process(self, ctx: QpContext, psn: int, last_of_message: bool) -> ReceiveDataOutput:
+        bitmap = ctx.receive_bitmap
+        if psn < ctx.expected_psn or (bitmap.in_window(psn) and bitmap.test(psn)):
+            return ReceiveDataOutput(
+                send_ack=True, send_nack=False, ack_psn=ctx.expected_psn,
+                sack_psn=None, msn_increment=0, receive_wqes_to_expire=0, duplicate=True,
+            )
+        if not bitmap.in_window(psn):
+            # Beyond the BDP cap -- cannot be tracked; drop silently.
+            return ReceiveDataOutput(
+                send_ack=False, send_nack=False, ack_psn=ctx.expected_psn,
+                sack_psn=None, msn_increment=0, receive_wqes_to_expire=0, duplicate=True,
+            )
+        bitmap.record(psn, last_of_message)
+        if psn == ctx.expected_psn:
+            passed, messages = bitmap.advance()
+            ctx.find_first_zero_ops += 1
+            ctx.popcount_ops += 1
+            ctx.shift_ops += 1
+            ctx.expected_psn += passed
+            ctx.msn += messages
+            return ReceiveDataOutput(
+                send_ack=True, send_nack=False, ack_psn=ctx.expected_psn,
+                sack_psn=None, msn_increment=messages, receive_wqes_to_expire=messages,
+            )
+        return ReceiveDataOutput(
+            send_ack=False, send_nack=True, ack_psn=ctx.expected_psn,
+            sack_psn=psn, msn_increment=0, receive_wqes_to_expire=0,
+        )
+
+
+@dataclass
+class TxFreeOutput:
+    """Outputs of the txFree module."""
+
+    psn_to_send: Optional[int]
+    is_retransmission: bool
+
+
+class TxFreeModule:
+    """Requester-side selection of the next packet when the link is free."""
+
+    def process(self, ctx: QpContext, new_packets_available: bool) -> TxFreeOutput:
+        if ctx.in_recovery:
+            # Look ahead in the SACK bitmap for the next lost packet.
+            ctx.find_first_zero_ops += 1
+            sacked = ctx.sack_bitmap
+            max_sacked_offset = -1
+            for seq in sacked.set_bits():
+                max_sacked_offset = max(max_sacked_offset, seq)
+            scan = max(ctx.retransmit_scan, ctx.snd_una)
+            while scan < ctx.highest_sent:
+                if scan == ctx.snd_una and not sacked.in_window(scan):
+                    break
+                in_window = sacked.in_window(scan)
+                is_sacked = in_window and sacked.test(scan)
+                if not is_sacked and (scan == ctx.snd_una or scan < max_sacked_offset):
+                    ctx.retransmit_scan = scan + 1
+                    return TxFreeOutput(psn_to_send=scan, is_retransmission=True)
+                scan += 1
+            ctx.retransmit_scan = scan
+        if new_packets_available and ctx.in_flight() < ctx.bdp_cap:
+            psn = ctx.snd_nxt
+            ctx.snd_nxt += 1
+            ctx.highest_sent = max(ctx.highest_sent, ctx.snd_nxt)
+            return TxFreeOutput(psn_to_send=psn, is_retransmission=False)
+        return TxFreeOutput(psn_to_send=None, is_retransmission=False)
+
+
+@dataclass
+class ReceiveAckOutput:
+    """Outputs of the receiveAck module."""
+
+    new_cumulative_ack: int
+    entered_recovery: bool
+    exited_recovery: bool
+
+
+class ReceiveAckModule:
+    """Requester-side handling of an arriving ACK/NACK."""
+
+    def process(
+        self,
+        ctx: QpContext,
+        cumulative_ack: int,
+        sack_psn: Optional[int],
+        is_nack: bool,
+    ) -> ReceiveAckOutput:
+        entered = False
+        exited = False
+        if cumulative_ack > ctx.snd_una:
+            advance = cumulative_ack - ctx.snd_una
+            ctx.sack_bitmap.advance_head_to(cumulative_ack)
+            ctx.shift_ops += 1
+            ctx.snd_una = cumulative_ack
+            ctx.snd_nxt = max(ctx.snd_nxt, cumulative_ack)
+            ctx.retransmit_scan = max(ctx.retransmit_scan, cumulative_ack)
+        if sack_psn is not None and ctx.sack_bitmap.in_window(sack_psn):
+            ctx.sack_bitmap.set(sack_psn)
+        if is_nack and not ctx.in_recovery:
+            ctx.in_recovery = True
+            ctx.recovery_seq = max(ctx.snd_nxt - 1, ctx.snd_una)
+            ctx.retransmit_scan = ctx.snd_una
+            entered = True
+        if ctx.in_recovery and ctx.snd_una > ctx.recovery_seq:
+            ctx.in_recovery = False
+            exited = True
+        return ReceiveAckOutput(
+            new_cumulative_ack=ctx.snd_una,
+            entered_recovery=entered,
+            exited_recovery=exited,
+        )
+
+
+@dataclass
+class TimeoutOutput:
+    """Outputs of the timeout module."""
+
+    #: True when the RTO_low condition did not hold and the hardware timer
+    #: should simply be extended to RTO_high instead of acting.
+    extend_to_rto_high: bool
+    #: True when the timeout action (enter recovery, rewind the scan) ran.
+    acted: bool
+
+
+class TimeoutModule:
+    """Requester-side timeout handling with the dual RTO_low/RTO_high scheme."""
+
+    def process(self, ctx: QpContext, fired_with_rto_low: bool) -> TimeoutOutput:
+        if fired_with_rto_low and ctx.in_flight() > ctx.rto_low_threshold:
+            # The RTO_low precondition no longer holds: extend the timer.
+            return TimeoutOutput(extend_to_rto_high=True, acted=False)
+        if ctx.in_flight() == 0:
+            return TimeoutOutput(extend_to_rto_high=False, acted=False)
+        ctx.in_recovery = True
+        ctx.recovery_seq = max(ctx.snd_nxt - 1, ctx.snd_una)
+        ctx.retransmit_scan = ctx.snd_una
+        return TimeoutOutput(extend_to_rto_high=False, acted=True)

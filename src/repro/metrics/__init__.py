@@ -1,0 +1,13 @@
+"""Metrics: flow completion times, slowdowns, percentiles and tail CDFs."""
+
+from repro.metrics.stats import percentile, summarize, tail_cdf, MetricSummary
+from repro.metrics.collector import FlowMetrics, MetricsCollector
+
+__all__ = [
+    "percentile",
+    "summarize",
+    "tail_cdf",
+    "MetricSummary",
+    "FlowMetrics",
+    "MetricsCollector",
+]

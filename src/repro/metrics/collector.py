@@ -1,0 +1,118 @@
+"""Per-flow metric collection.
+
+The collector computes, for every completed flow, its flow completion time
+and its *slowdown*: the FCT divided by the time the flow would have taken to
+traverse its path at line rate in an empty network (one store-and-forward
+MTU per hop plus propagation plus transmission of the whole flow at the
+bottleneck rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.core.transport import Flow
+from repro.metrics.stats import MetricSummary, summarize, tail_cdf
+from repro.sim.packet import DEFAULT_HEADER_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
+
+
+@dataclass
+class FlowMetrics:
+    """Completion metrics for one flow."""
+
+    flow: Flow
+    fct: float
+    ideal_fct: float
+
+    @property
+    def slowdown(self) -> float:
+        return max(1.0, self.fct / self.ideal_fct) if self.ideal_fct > 0 else float("inf")
+
+    @property
+    def is_single_packet(self) -> bool:
+        return self.flow.num_packets(1000) == 1
+
+
+class MetricsCollector:
+    """Accumulates completed flows and produces paper-style summaries."""
+
+    def __init__(
+        self,
+        network: "Network",
+        mtu_bytes: int = 1000,
+        header_bytes: int = DEFAULT_HEADER_BYTES,
+    ) -> None:
+        self.network = network
+        self.mtu_bytes = mtu_bytes
+        self.header_bytes = header_bytes
+        self.records: List[FlowMetrics] = []
+        self._ideal_cache: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def ideal_fct(self, flow: Flow) -> float:
+        """Completion time of ``flow`` at line rate on an empty network."""
+        cached = self._ideal_cache.get(flow.flow_id)
+        if cached is not None:
+            return cached
+        hops, bandwidth, prop_delay = self.network.path_properties(
+            flow.src, flow.dst, flow.flow_id
+        )
+        packets = flow.num_packets(self.mtu_bytes)
+        wire_bytes = flow.size_bytes + packets * self.header_bytes
+        transmission = wire_bytes * 8.0 / bandwidth
+        # Store-and-forward of the first packet across the remaining hops.
+        per_hop_packet = (min(self.mtu_bytes, flow.size_bytes) + self.header_bytes) * 8.0 / bandwidth
+        pipeline = (hops - 1) * per_hop_packet if hops > 1 else 0.0
+        ideal = transmission + prop_delay + pipeline
+        self._ideal_cache[flow.flow_id] = ideal
+        return ideal
+
+    def on_flow_complete(self, flow: Flow, now: float) -> None:
+        """Record a completed flow (wired as the receiver completion callback)."""
+        if flow.completion_time is None:
+            flow.completion_time = now
+        self.records.append(FlowMetrics(flow=flow, fct=flow.fct(), ideal_fct=self.ideal_fct(flow)))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def completed_flows(self, group: Optional[str] = None) -> List[FlowMetrics]:
+        """All completed-flow records, optionally filtered by workload group."""
+        if group is None:
+            return list(self.records)
+        return [record for record in self.records if record.flow.group == group]
+
+    def summary(self, group: Optional[str] = None, tail_fraction: float = 0.99) -> MetricSummary:
+        """Average slowdown / average FCT / tail FCT over completed flows."""
+        records = self.completed_flows(group)
+        if not records:
+            raise RuntimeError("no completed flows to summarize")
+        return summarize(
+            [record.fct for record in records],
+            [record.slowdown for record in records],
+            tail_fraction=tail_fraction,
+        )
+
+    def single_packet_latencies(self, group: Optional[str] = None) -> List[float]:
+        """FCTs of single-packet messages (Figure 8's latency metric)."""
+        return [
+            record.fct
+            for record in self.completed_flows(group)
+            if record.flow.num_packets(self.mtu_bytes) == 1
+        ]
+
+    def single_packet_tail_cdf(
+        self, start_fraction: float = 0.90, points: int = 40
+    ) -> List[tuple]:
+        """Tail CDF of single-packet message latency."""
+        return tail_cdf(self.single_packet_latencies(), start_fraction, points)
+
+    def completion_fraction(self, total_flows: int) -> float:
+        """Fraction of generated flows that completed before the sim ended."""
+        if total_flows <= 0:
+            return 0.0
+        return len(self.records) / total_flows

@@ -1,0 +1,100 @@
+"""Statistical helpers for the paper's three headline metrics.
+
+The paper reports (i) average slowdown, (ii) average flow completion time and
+(iii) 99th-percentile (tail) FCT, plus tail CDFs of single-packet message
+latency for Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class MetricSummary:
+    """The paper's three headline metrics over a set of flows."""
+
+    avg_slowdown: float
+    avg_fct: float
+    tail_fct: float
+    num_flows: int
+
+    def as_row(self) -> Tuple[float, float, float]:
+        """(avg slowdown, avg FCT, 99%ile FCT) -- the order used in figures."""
+        return (self.avg_slowdown, self.avg_fct, self.tail_fct)
+
+    def ratio_to(self, other: "MetricSummary") -> Tuple[float, float, float]:
+        """Element-wise ratio of this summary over ``other`` (appendix tables)."""
+        return (
+            self.avg_slowdown / other.avg_slowdown if other.avg_slowdown else float("nan"),
+            self.avg_fct / other.avg_fct if other.avg_fct else float("nan"),
+            self.tail_fct / other.tail_fct if other.tail_fct else float("nan"),
+        )
+
+
+def summarize(
+    fcts: Sequence[float],
+    slowdowns: Sequence[float],
+    tail_fraction: float = 0.99,
+) -> MetricSummary:
+    """Aggregate per-flow FCTs and slowdowns into a :class:`MetricSummary`."""
+    if not fcts or not slowdowns:
+        raise ValueError("cannot summarize an empty flow set")
+    if len(fcts) != len(slowdowns):
+        raise ValueError("fcts and slowdowns must have the same length")
+    return MetricSummary(
+        avg_slowdown=sum(slowdowns) / len(slowdowns),
+        avg_fct=sum(fcts) / len(fcts),
+        tail_fct=percentile(fcts, tail_fraction),
+        num_flows=len(fcts),
+    )
+
+
+def tail_cdf(
+    values: Sequence[float],
+    start_fraction: float = 0.90,
+    points: int = 50,
+) -> List[Tuple[float, float]]:
+    """CDF points ``(value, cumulative fraction)`` from ``start_fraction`` up.
+
+    Figure 8 plots the 90th-99.9th percentile region of the single-packet
+    message latency distribution.
+    """
+    if not values:
+        raise ValueError("cannot build a CDF from an empty sequence")
+    if points < 2:
+        raise ValueError("need at least two CDF points")
+    fractions = [
+        start_fraction + (1.0 - start_fraction) * i / (points - 1) for i in range(points)
+    ]
+    # Avoid the degenerate 100th percentile reading noise from a single max.
+    fractions[-1] = min(fractions[-1], 0.999)
+    return [(percentile(values, f), f) for f in fractions]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (raises on empty input)."""
+    values = list(values)
+    if not values:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return sum(values) / len(values)

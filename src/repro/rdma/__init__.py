@@ -1,0 +1,45 @@
+"""The RDMA verbs layer (§5 of the paper).
+
+This package models the NIC-visible RDMA machinery that IRN must keep
+working when packets arrive out of order: queue pairs, work queue elements
+(WQEs) and completion queue elements (CQEs), the four RDMA operation types
+(Write, Read, Send, Atomic, plus Write-with-immediate and
+Send-with-invalidate), the responder's message sequence number (MSN) and
+2-bitmap tracking, WQE sequence-number matching, premature CQEs, shared
+receive queues and end-to-end credits.
+
+The layer is transport-agnostic and is exercised directly by the test suite
+with reordered, duplicated and lost packet streams (the same conditions the
+network simulator produces), which is how §5's correctness arguments are
+validated here.
+"""
+
+from repro.rdma.types import (
+    CompletionQueueElement,
+    MemoryRegion,
+    OpType,
+    PacketOpcode,
+    ReceiveWqe,
+    RdmaPacket,
+    RequestWqe,
+    WqeStatus,
+)
+from repro.rdma.requester import Requester, RequesterConfig
+from repro.rdma.responder import Responder, ResponderConfig
+from repro.rdma.srq import SharedReceiveQueue
+
+__all__ = [
+    "CompletionQueueElement",
+    "MemoryRegion",
+    "OpType",
+    "PacketOpcode",
+    "ReceiveWqe",
+    "RdmaPacket",
+    "RequestWqe",
+    "WqeStatus",
+    "Requester",
+    "RequesterConfig",
+    "Responder",
+    "ResponderConfig",
+    "SharedReceiveQueue",
+]

@@ -1,0 +1,51 @@
+"""Shared receive queues (§B.2).
+
+With an SRQ, receive WQEs are shared across queue pairs.  IRN keeps a running
+``recv_WQE_SN`` per QP, but instead of allotting the sequence number when the
+WQE is posted (as with a per-QP receive queue), it allots it when the WQE is
+*dequeued* from the SRQ: when a Send packet with ``recv_WQE_SN = k`` arrives
+and only ``j < k+1`` WQEs have been dequeued so far, the responder dequeues
+``k + 1 - j`` WQEs, allotting them consecutive sequence numbers, and uses the
+last one to process the packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.rdma.types import ReceiveWqe
+
+
+class SharedReceiveQueue:
+    """A pool of receive WQEs shared by multiple queue pairs."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[ReceiveWqe] = deque()
+        self.posted = 0
+        self.dequeued = 0
+
+    def post(self, wqe: ReceiveWqe) -> None:
+        """Add a receive WQE to the shared pool."""
+        self._queue.append(wqe)
+        self.posted += 1
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def dequeue(self) -> Optional[ReceiveWqe]:
+        """Remove and return the oldest WQE (or ``None`` if empty)."""
+        if not self._queue:
+            return None
+        self.dequeued += 1
+        return self._queue.popleft()
+
+    def dequeue_up_to(self, count: int) -> List[ReceiveWqe]:
+        """Dequeue up to ``count`` WQEs (fewer if the pool runs dry)."""
+        wqes: List[ReceiveWqe] = []
+        for _ in range(count):
+            wqe = self.dequeue()
+            if wqe is None:
+                break
+            wqes.append(wqe)
+        return wqes

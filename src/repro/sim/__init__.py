@@ -1,0 +1,31 @@
+"""Discrete-event, packet-level network simulation substrate.
+
+This package models the pieces the paper's evaluation platform (an
+OMNET++/INET based RoCE simulator) provides: an event engine, links with
+serialization and propagation delay, input-queued switches with virtual
+output queues and round-robin scheduling, Priority Flow Control (PFC),
+ECN marking, ECMP routing and host NICs that schedule queue pairs.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.packet import Packet, PacketType
+from repro.sim.link import Link, OutputPort
+from repro.sim.switch import Switch, SwitchConfig
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.sim.routing import EcmpRouting, PacketSprayRouting
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Packet",
+    "PacketType",
+    "Link",
+    "OutputPort",
+    "Switch",
+    "SwitchConfig",
+    "Host",
+    "Network",
+    "EcmpRouting",
+    "PacketSprayRouting",
+]

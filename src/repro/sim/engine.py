@@ -1,0 +1,135 @@
+"""The discrete-event simulation engine.
+
+The engine is a classic calendar-queue style event loop built on a binary
+heap.  All other simulator components (links, switches, hosts, transports)
+schedule callbacks on a shared :class:`Simulator` instance.  Time is kept in
+seconds as a float; event ordering between equal timestamps is FIFO by
+insertion order so runs are fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that simultaneous events fire in the
+    order they were scheduled.  Cancelled events stay in the heap but are
+    skipped when popped.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it reaches the head."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop, simulation clock and random-number source.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned :class:`random.Random`.  Every stochastic
+        component (workload generation, ECN marking, ECMP tie-breaks) draws
+        from this RNG so a run is reproducible from its seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past (time={time}, now={self.now})"
+            )
+        event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op for ``None``)."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have been executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be later than this time.  The clock
+            is advanced to ``until`` when the queue empties earlier.
+        max_events:
+            Safety valve for tests: stop after executing this many events.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self._events_processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until is not None and not self._stopped and self.now < until:
+            if not self._heap or self._heap[0].time > until:
+                self.now = until
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Run until no events remain (or ``max_events`` were executed)."""
+        self.run(until=None, max_events=max_events)

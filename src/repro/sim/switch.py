@@ -1,0 +1,262 @@
+"""Input-queued switches with virtual output queues, PFC and ECN marking.
+
+The paper's simulator models "input-queued switches with virtual output
+ports, scheduled using round-robin", with per-input-port buffers whose
+occupancy drives PFC pause/resume.  This module reproduces that model:
+
+* every incoming link owns an input port with a fixed buffer,
+* each input port keeps one virtual output queue (VOQ) per output port,
+* each output port serves its VOQs round-robin across input ports,
+* when PFC is enabled an input port that crosses its pause threshold sends an
+  X-OFF frame to the upstream node; when it drains it sends X-ON,
+* when PFC is disabled packets that do not fit in the buffer are dropped,
+* ECN marking (RED-style for DCQCN, step marking for DCTCP) is applied based
+  on the per-output queue depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.sim.link import Link, OutputPort
+from repro.sim.packet import Packet, PacketType
+from repro.sim.pfc import PfcConfig, PfcState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.routing import Routing
+
+
+@dataclass
+class EcnConfig:
+    """ECN marking configuration (RED-like, per DCQCN's recommended setup)."""
+
+    enabled: bool = False
+    kmin_bytes: int = 20_000
+    kmax_bytes: int = 80_000
+    pmax: float = 0.2
+    #: When True, mark deterministically above ``kmin_bytes`` (DCTCP-style).
+    step_marking: bool = False
+
+
+@dataclass
+class SwitchConfig:
+    """Per-switch configuration.
+
+    ``buffer_bytes_per_port`` is the per-input-port buffer (the paper sizes it
+    at twice the network BDP, 240KB in the default scenario).
+    """
+
+    buffer_bytes_per_port: int = 240_000
+    pfc: PfcConfig = field(default_factory=PfcConfig)
+    ecn: EcnConfig = field(default_factory=EcnConfig)
+
+
+class _InputPort:
+    """Buffer and VOQs for one incoming link."""
+
+    def __init__(self, link: Link, buffer_bytes: int) -> None:
+        self.link = link
+        self.buffer_bytes = buffer_bytes
+        self.occupancy = 0
+        self.voqs: Dict[OutputPort, Deque[Packet]] = {}
+        self.pfc = PfcState()
+
+    def voq(self, port: OutputPort) -> Deque[Packet]:
+        queue = self.voqs.get(port)
+        if queue is None:
+            queue = deque()
+            self.voqs[port] = queue
+        return queue
+
+
+class Switch:
+    """An input-queued switch."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        config: Optional[SwitchConfig] = None,
+        routing: Optional["Routing"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or SwitchConfig()
+        self.routing = routing
+
+        self.output_ports: Dict[str, OutputPort] = {}   # neighbor name -> port
+        self.input_ports: Dict[Link, _InputPort] = {}   # incoming link -> input port
+        self._rr_pointer: Dict[OutputPort, int] = {}    # round-robin state
+        self._out_queue_bytes: Dict[OutputPort, int] = {}
+
+        # Statistics
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        self.packets_marked = 0
+        self.pause_frames_sent = 0
+        self.resume_frames_sent = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_output_link(self, link: Link) -> OutputPort:
+        """Attach an outgoing link; returns the created output port."""
+        port = OutputPort(self.sim, link, source=self)
+        self.output_ports[link.dst.name] = port
+        self._rr_pointer[port] = 0
+        self._out_queue_bytes[port] = 0
+        return port
+
+    def add_input_link(self, link: Link) -> None:
+        """Register an incoming link (creates its input-port buffer)."""
+        self.input_ports[link] = _InputPort(link, self.config.buffer_bytes_per_port)
+
+    def port_towards(self, neighbor_name: str) -> OutputPort:
+        """The output port facing ``neighbor_name``."""
+        return self.output_ports[neighbor_name]
+
+    def neighbors(self) -> List[str]:
+        """Names of nodes reachable over one of this switch's output links."""
+        return list(self.output_ports.keys())
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link: Link) -> None:
+        """Handle a frame arriving on ``link``."""
+        if packet.is_pfc():
+            self._handle_pfc(packet, link)
+            return
+
+        in_port = self.input_ports.get(link)
+        if in_port is None:
+            raise RuntimeError(f"{self.name}: packet arrived on unregistered link {link.name}")
+
+        next_hop = self._next_hop(packet)
+        out_port = self.output_ports.get(next_hop)
+        if out_port is None:
+            raise RuntimeError(f"{self.name}: no port towards {next_hop} for {packet}")
+
+        if in_port.occupancy + packet.size_bytes > in_port.buffer_bytes:
+            # Buffer overrun.  With correctly-configured PFC this should not
+            # happen; without PFC this is a normal congestion drop.
+            self.packets_dropped += 1
+            self.bytes_dropped += packet.size_bytes
+            return
+
+        self._maybe_mark_ecn(packet, out_port)
+
+        in_port.voq(out_port).append(packet)
+        in_port.occupancy += packet.size_bytes
+        self._out_queue_bytes[out_port] += packet.size_bytes
+
+        if self.config.pfc.enabled:
+            threshold = self.config.pfc.pause_threshold(in_port.buffer_bytes)
+            if in_port.pfc.should_pause(in_port.occupancy, threshold):
+                in_port.pfc.mark_paused()
+                self.pause_frames_sent += 1
+                self._send_pfc(link, PacketType.PFC_PAUSE)
+
+        out_port.kick()
+
+    # ------------------------------------------------------------------
+    # Transmit path (PacketSource protocol)
+    # ------------------------------------------------------------------
+    def next_packet(self, port: OutputPort) -> Optional[Packet]:
+        """Round-robin over input ports with traffic queued for ``port``."""
+        in_ports = list(self.input_ports.values())
+        if not in_ports:
+            return None
+        start = self._rr_pointer.get(port, 0) % len(in_ports)
+        for offset in range(len(in_ports)):
+            idx = (start + offset) % len(in_ports)
+            in_port = in_ports[idx]
+            queue = in_port.voqs.get(port)
+            if queue:
+                packet = queue.popleft()
+                in_port.occupancy -= packet.size_bytes
+                self._out_queue_bytes[port] -= packet.size_bytes
+                self._rr_pointer[port] = idx + 1
+                self.packets_forwarded += 1
+                self._maybe_resume(in_port)
+                return packet
+        return None
+
+    def queued_bytes_for_output(self, port: OutputPort) -> int:
+        """Bytes currently queued (across all inputs) for ``port``."""
+        return self._out_queue_bytes.get(port, 0)
+
+    def total_queued_bytes(self) -> int:
+        """Bytes currently buffered in the switch."""
+        return sum(p.occupancy for p in self.input_ports.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_hop(self, packet: Packet) -> str:
+        if self.routing is None:
+            raise RuntimeError(f"{self.name}: no routing configured")
+        return self.routing.next_hop(self, packet)
+
+    def _maybe_mark_ecn(self, packet: Packet, out_port: OutputPort) -> None:
+        ecn = self.config.ecn
+        if not ecn.enabled or packet.ptype is not PacketType.DATA:
+            return
+        depth = self._out_queue_bytes[out_port]
+        if ecn.step_marking:
+            if depth >= ecn.kmin_bytes:
+                packet.ecn = True
+                self.packets_marked += 1
+            return
+        if depth <= ecn.kmin_bytes:
+            return
+        if depth >= ecn.kmax_bytes:
+            probability = 1.0
+        else:
+            span = max(1, ecn.kmax_bytes - ecn.kmin_bytes)
+            probability = ecn.pmax * (depth - ecn.kmin_bytes) / span
+        if self.sim.rng.random() < probability:
+            packet.ecn = True
+            self.packets_marked += 1
+
+    def _maybe_resume(self, in_port: _InputPort) -> None:
+        if not self.config.pfc.enabled:
+            return
+        threshold = self.config.pfc.resume_threshold(in_port.buffer_bytes)
+        if in_port.pfc.should_resume(in_port.occupancy, threshold):
+            in_port.pfc.mark_resumed()
+            self.resume_frames_sent += 1
+            self._send_pfc(in_port.link, PacketType.PFC_RESUME)
+
+    def _send_pfc(self, congested_link: Link, ptype: PacketType) -> None:
+        """Send a pause/resume frame to the node feeding ``congested_link``."""
+        upstream_name = congested_link.src.name
+        reverse_port = self.output_ports.get(upstream_name)
+        frame = Packet(
+            ptype=ptype,
+            flow_id=-1,
+            src=self.name,
+            dst=upstream_name,
+        )
+        if reverse_port is not None:
+            reverse_port.send_control_direct(frame)
+        else:  # pragma: no cover - defensive: no reverse link (one-way wiring)
+            self.sim.schedule(congested_link.prop_delay_s, congested_link.src.receive, frame, congested_link)
+
+    def _handle_pfc(self, packet: Packet, link: Link) -> None:
+        """Pause or resume our output port facing the pause frame's sender."""
+        sender = link.src.name
+        port = self.output_ports.get(sender)
+        if port is None:  # pragma: no cover - defensive
+            return
+        if packet.ptype is PacketType.PFC_PAUSE:
+            port.pause()
+        else:
+            port.resume()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name})"

@@ -1,0 +1,16 @@
+"""Topology builders used by the paper's evaluation and by the test suite."""
+
+from repro.topology.fattree import FatTreeParams, build_fat_tree
+from repro.topology.simple import (
+    build_dumbbell,
+    build_parking_lot,
+    build_star,
+)
+
+__all__ = [
+    "FatTreeParams",
+    "build_fat_tree",
+    "build_dumbbell",
+    "build_parking_lot",
+    "build_star",
+]

@@ -1,0 +1,150 @@
+"""Three-tier fat-tree topologies.
+
+The paper's default scenario is a 54-server, full-bisection-bandwidth
+three-tier fat-tree built from 45 6-port switches in 6 pods (the classic
+k-ary fat-tree of Al-Fares et al. with k = 6, minus the one host slot used
+for measurement infrastructure in the vendor simulator; we build the full
+k^3/4 hosts and let the workload select how many are active).  The appendix
+scales the arity to k = 8 (128 servers) and k = 10 (250 servers).
+
+A k-ary fat-tree has:
+
+* ``(k/2)^2`` core switches,
+* ``k`` pods, each with ``k/2`` aggregation and ``k/2`` edge switches,
+* ``k/2`` hosts per edge switch, i.e. ``k^3/4`` hosts total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.network import Network
+from repro.sim.switch import SwitchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class FatTreeParams:
+    """Parameters of a k-ary fat-tree fabric.
+
+    Attributes
+    ----------
+    k:
+        Switch arity (number of ports); must be even.
+    link_bandwidth_bps:
+        Rate of every link (hosts and fabric links are homogeneous, giving
+        full bisection bandwidth).
+    link_delay_s:
+        Per-hop propagation delay (the paper uses 2 microseconds).
+    """
+
+    k: int = 4
+    link_bandwidth_bps: float = 40e9
+    link_delay_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError("fat-tree arity k must be an even integer >= 2")
+
+    @property
+    def num_hosts(self) -> int:
+        """Total number of servers, k^3 / 4."""
+        return self.k ** 3 // 4
+
+    @property
+    def num_pods(self) -> int:
+        return self.k
+
+    @property
+    def num_core_switches(self) -> int:
+        return (self.k // 2) ** 2
+
+    @property
+    def num_switches(self) -> int:
+        """Core + aggregation + edge switches."""
+        return self.num_core_switches + self.k * self.k
+
+    @property
+    def max_hop_count(self) -> int:
+        """Hops on the longest (inter-pod, via core) host-to-host path."""
+        return 6
+
+    def longest_path_rtt(self) -> float:
+        """Two-way propagation delay of the longest path (no queueing)."""
+        return 2.0 * self.max_hop_count * self.link_delay_s
+
+    def bdp_bytes(self) -> int:
+        """Bandwidth-delay product of the longest path, in bytes.
+
+        The paper computes the BDP over the 6-hop path: 40 Gbps x 12 links
+        x 2 microseconds / 8 = 120KB for the default scenario.
+        """
+        return int(self.link_bandwidth_bps * self.longest_path_rtt() / 8.0)
+
+    def bdp_packets(self, mtu_bytes: int = 1000) -> int:
+        """BDP expressed in MTU-sized packets (the BDP-FC cap)."""
+        return max(1, self.bdp_bytes() // mtu_bytes)
+
+
+def build_fat_tree(
+    sim: "Simulator",
+    params: Optional[FatTreeParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Network:
+    """Build a k-ary fat-tree :class:`Network`.
+
+    Node naming scheme:
+
+    * hosts: ``h<i>`` for ``i`` in ``0 .. k^3/4 - 1``
+    * edge switches: ``edge_p<pod>_<j>``
+    * aggregation switches: ``agg_p<pod>_<j>``
+    * core switches: ``core_<i>``
+    """
+    params = params or FatTreeParams()
+    network = Network(sim)
+    k = params.k
+    half = k // 2
+
+    core_names: List[str] = []
+    for i in range(params.num_core_switches):
+        name = f"core_{i}"
+        network.add_switch(name, config=switch_config)
+        core_names.append(name)
+
+    host_index = 0
+    for pod in range(k):
+        agg_names = []
+        edge_names = []
+        for j in range(half):
+            agg = f"agg_p{pod}_{j}"
+            edge = f"edge_p{pod}_{j}"
+            network.add_switch(agg, config=switch_config)
+            network.add_switch(edge, config=switch_config)
+            agg_names.append(agg)
+            edge_names.append(edge)
+
+        # Edge <-> aggregation full mesh within the pod.
+        for edge in edge_names:
+            for agg in agg_names:
+                network.connect(edge, agg, params.link_bandwidth_bps, params.link_delay_s)
+
+        # Hosts under each edge switch.
+        for edge in edge_names:
+            for _ in range(half):
+                host = f"h{host_index}"
+                network.add_host(host)
+                network.connect(host, edge, params.link_bandwidth_bps, params.link_delay_s)
+                host_index += 1
+
+        # Aggregation <-> core. The j-th aggregation switch of every pod
+        # connects to core switches [j*half, (j+1)*half).
+        for j, agg in enumerate(agg_names):
+            for c in range(half):
+                core = core_names[j * half + c]
+                network.connect(agg, core, params.link_bandwidth_bps, params.link_delay_s)
+
+    network.build_routing()
+    return network

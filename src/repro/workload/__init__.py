@@ -1,0 +1,21 @@
+"""Workload generation: flow-size distributions, Poisson arrivals, incast."""
+
+from repro.workload.distributions import (
+    FlowSizeDistribution,
+    HeavyTailedSizes,
+    UniformSizes,
+    FixedSizes,
+)
+from repro.workload.generator import PoissonWorkload, WorkloadParams
+from repro.workload.incast import IncastParams, build_incast_flows
+
+__all__ = [
+    "FlowSizeDistribution",
+    "HeavyTailedSizes",
+    "UniformSizes",
+    "FixedSizes",
+    "PoissonWorkload",
+    "WorkloadParams",
+    "IncastParams",
+    "build_incast_flows",
+]

@@ -1,0 +1,147 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3e-6, order.append, "c")
+        sim.schedule(1e-6, order.append, "a")
+        sim.schedule(2e-6, order.append, "b")
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1e-6, order.append, label)
+        sim.run_until_idle()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(5e-6, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == pytest.approx(5e-6)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(2e-6, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [pytest.approx(2e-6)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1e-6, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1e-6, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 5:
+                sim.schedule(1e-6, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run_until_idle()
+        assert seen == list(range(6))
+        assert sim.now == pytest.approx(5e-6)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1e-6, ran.append, "x")
+        event.cancel()
+        sim.run_until_idle()
+        assert ran == []
+
+    def test_cancel_via_simulator_helper(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1e-6, ran.append, "x")
+        sim.cancel(event)
+        sim.run_until_idle()
+        assert ran == []
+
+    def test_cancel_none_is_noop(self):
+        sim = Simulator()
+        sim.cancel(None)
+
+    def test_other_events_unaffected_by_cancellation(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1e-6, ran.append, "a")
+        sim.schedule(2e-6, ran.append, "b")
+        event.cancel()
+        sim.run_until_idle()
+        assert ran == ["b"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1e-6, ran.append, "a")
+        sim.schedule(10e-6, ran.append, "b")
+        sim.run(until=5e-6)
+        assert ran == ["a"]
+        assert sim.now == pytest.approx(5e-6)
+        sim.run_until_idle()
+        assert ran == ["a", "b"]
+
+    def test_run_until_advances_clock_when_queue_is_empty(self):
+        sim = Simulator()
+        sim.run(until=1e-3)
+        assert sim.now == pytest.approx(1e-3)
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        ran = []
+        for i in range(10):
+            sim.schedule(i * 1e-6, ran.append, i)
+        sim.run(max_events=3)
+        assert ran == [0, 1, 2]
+
+    def test_stop_terminates_the_loop(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1e-6, ran.append, "a")
+        sim.schedule(2e-6, sim.stop)
+        sim.schedule(3e-6, ran.append, "b")
+        sim.run_until_idle()
+        assert ran == ["a"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_processed == 4
+
+    def test_rng_is_deterministic_per_seed(self):
+        values_a = Simulator(seed=5).rng.random()
+        values_b = Simulator(seed=5).rng.random()
+        values_c = Simulator(seed=6).rng.random()
+        assert values_a == values_b
+        assert values_a != values_c

@@ -1,0 +1,149 @@
+"""Tests for experiment configuration and the paper scenario presets."""
+
+import pytest
+
+from repro.core.factory import TransportKind
+from repro.experiments import scenarios
+from repro.experiments.config import (
+    CongestionControl,
+    ExperimentConfig,
+    TopologyKind,
+    WorkloadKind,
+)
+
+
+class TestDerivedQuantities:
+    def test_default_bdp_matches_paper_formula(self):
+        config = ExperimentConfig(
+            fat_tree_k=6, link_bandwidth_bps=40e9, link_delay_s=2e-6, mtu_bytes=1000
+        )
+        # 40 Gbps * 24 us / 8 = 120 KB -> 120 packets.
+        assert config.bdp_bytes() == 120_000
+        assert config.effective_bdp_cap_packets() == 120
+
+    def test_buffer_defaults_to_twice_bdp(self):
+        config = ExperimentConfig(link_bandwidth_bps=10e9, link_delay_s=1e-6)
+        assert config.effective_buffer_bytes() == 2 * config.bdp_bytes()
+
+    def test_explicit_overrides_win(self):
+        config = ExperimentConfig(bdp_cap_packets=42, buffer_bytes_per_port=12345,
+                                  rto_low_s=1e-4, rto_high_s=1e-3)
+        assert config.effective_bdp_cap_packets() == 42
+        assert config.effective_buffer_bytes() == 12345
+        assert config.effective_rto_low_s() == 1e-4
+        assert config.effective_rto_high_s() == 1e-3
+
+    def test_derived_rtos_follow_paper_rule(self):
+        config = ExperimentConfig(link_bandwidth_bps=10e9, link_delay_s=1e-6, fat_tree_k=4)
+        drain = config.effective_buffer_bytes() * 8 / 10e9
+        expected_high = 6 * 1e-6 + 3 * drain
+        assert config.effective_rto_high_s() == pytest.approx(expected_high)
+        assert config.effective_rto_low_s() < config.effective_rto_high_s()
+
+    def test_worst_case_overheads_add_header_bytes(self):
+        base = ExperimentConfig()
+        worst = ExperimentConfig(worst_case_overheads=True)
+        assert worst.effective_header_bytes() == base.effective_header_bytes() + 16
+
+    def test_switch_config_reflects_pfc_and_cc(self):
+        config = ExperimentConfig(pfc_enabled=False, congestion_control=CongestionControl.DCQCN)
+        switch_config = config.switch_config()
+        assert switch_config.pfc.enabled is False
+        assert switch_config.ecn.enabled is True
+        assert switch_config.ecn.step_marking is False
+
+    def test_dctcp_uses_step_marking(self):
+        config = ExperimentConfig(congestion_control=CongestionControl.DCTCP)
+        assert config.switch_config().ecn.step_marking is True
+
+    def test_no_ecn_without_ecn_based_cc(self):
+        for cc in (CongestionControl.NONE, CongestionControl.TIMELY, CongestionControl.AIMD):
+            config = ExperimentConfig(congestion_control=cc)
+            assert config.switch_config().ecn.enabled is False
+
+    def test_size_distribution_selection(self):
+        assert ExperimentConfig(workload=WorkloadKind.HEAVY_TAILED).size_distribution() is not None
+        assert ExperimentConfig(workload=WorkloadKind.UNIFORM).size_distribution() is not None
+        assert ExperimentConfig(workload=WorkloadKind.NONE).size_distribution() is None
+
+    def test_with_overrides_returns_modified_copy(self):
+        config = ExperimentConfig(target_load=0.7)
+        modified = config.with_overrides(target_load=0.9)
+        assert modified.target_load == 0.9
+        assert config.target_load == 0.7
+
+
+class TestScenarioPresets:
+    def test_fig1_pairs_roce_pfc_with_irn_lossy(self):
+        configs = scenarios.fig1_configs()
+        roce = configs["RoCE (with PFC)"]
+        irn = configs["IRN (without PFC)"]
+        assert roce.transport is TransportKind.ROCE and roce.pfc_enabled
+        assert irn.transport is TransportKind.IRN and not irn.pfc_enabled
+
+    def test_fig2_varies_only_pfc(self):
+        configs = scenarios.fig2_configs()
+        assert all(c.transport is TransportKind.IRN for c in configs.values())
+        assert {c.pfc_enabled for c in configs.values()} == {True, False}
+
+    def test_fig4_covers_timely_and_dcqcn(self):
+        configs = scenarios.fig4_configs()
+        ccs = {c.congestion_control for c in configs.values()}
+        assert ccs == {CongestionControl.TIMELY, CongestionControl.DCQCN}
+        assert len(configs) == 4
+
+    def test_fig7_factor_analysis_variants(self):
+        configs = scenarios.fig7_configs()
+        kinds = {c.transport for c in configs.values()}
+        assert kinds == {
+            TransportKind.IRN, TransportKind.IRN_GO_BACK_N, TransportKind.IRN_NO_BDPFC
+        }
+
+    def test_fig9_varies_fan_in(self):
+        configs = scenarios.fig9_configs(fan_ins=(4, 8))
+        assert len(configs) == 4
+        assert all(c.incast is not None for c in configs.values())
+        assert {c.incast.fan_in for c in configs.values()} == {4, 8}
+        assert all(c.workload is WorkloadKind.NONE for c in configs.values())
+
+    def test_fig10_resilient_roce_is_dcqcn_without_pfc(self):
+        config = scenarios.fig10_configs()["Resilient RoCE"]
+        assert config.transport is TransportKind.ROCE
+        assert config.congestion_control is CongestionControl.DCQCN
+        assert not config.pfc_enabled
+
+    def test_fig11_includes_iwarp(self):
+        configs = scenarios.fig11_configs()
+        assert configs["iWARP"].transport is TransportKind.IWARP
+
+    def test_fig12_overhead_flag(self):
+        configs = scenarios.fig12_configs()
+        assert configs["IRN (worst-case overheads)"].worst_case_overheads
+        assert not configs["IRN (no overheads)"].worst_case_overheads
+
+    def test_appendix_tables_have_three_columns_per_row(self):
+        for table in (
+            scenarios.table3_configs(utilizations=(0.5, 0.9)),
+            scenarios.table4_configs(bandwidths_gbps=(10,)),
+            scenarios.table7_configs(buffer_bytes=(15_000,)),
+            scenarios.table8_configs(rto_high_values_s=(320e-6,)),
+            scenarios.table9_configs(n_values=(3,)),
+        ):
+            for row in table.values():
+                assert set(row) == {"IRN", "IRN+PFC", "RoCE+PFC"}
+
+    def test_table5_scales_topology(self):
+        table = scenarios.table5_configs(arities=(4, 6))
+        assert {row_label.split(" ")[0] for row_label in table} == {"k=4", "k=6"}
+        assert table["k=6 (54 hosts)"]["IRN"].fat_tree_k == 6
+
+    def test_table6_switches_workload(self):
+        table = scenarios.table6_configs()
+        assert table["Uniform"]["IRN"].workload is WorkloadKind.UNIFORM
+        assert table["Heavy-tailed"]["IRN"].workload is WorkloadKind.HEAVY_TAILED
+
+    def test_default_config_overrides_passthrough(self):
+        config = scenarios.default_config(num_flows=10, seed=9, target_load=0.4)
+        assert config.num_flows == 10
+        assert config.seed == 9
+        assert config.target_load == 0.4

@@ -1,0 +1,99 @@
+"""Unit tests for the iWARP-style TCP transport."""
+
+import pytest
+
+from repro.core.iwarp import TcpConfig, TcpSender
+from repro.sim.engine import Simulator
+
+from tests.helpers import FakeHost, ack, drain, make_flow, nack
+
+
+def make_sender(size_bytes=50_000, **config_kwargs):
+    sim = Simulator()
+    host = FakeHost()
+    flow = make_flow(size_bytes)
+    config = TcpConfig(mtu_bytes=1000, **config_kwargs)
+    return sim, host, flow, TcpSender(sim, host, flow, config)
+
+
+class TestSlowStart:
+    def test_initial_window_limits_the_first_burst(self):
+        _, _, _, sender = make_sender(initial_cwnd_packets=2)
+        packets = drain(sender, 0.0)
+        assert len(packets) == 2
+
+    def test_window_doubles_per_round_trip_in_slow_start(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=2)
+        drain(sender, 0.0)
+        sender.on_control(ack(flow, 2, echo_time=0.0), now=1e-4)
+        assert sender.cwnd == pytest.approx(4.0)
+        packets = drain(sender, 1e-4)
+        assert len(packets) == 4
+
+    def test_exits_slow_start_at_ssthresh(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=2, initial_ssthresh_packets=4)
+        drain(sender, 0.0)
+        sender.on_control(ack(flow, 2), now=1e-4)
+        assert not sender.in_slow_start
+        before = sender.cwnd
+        drain(sender, 1e-4)
+        sender.on_control(ack(flow, 4), now=2e-4)
+        # Congestion avoidance: roughly +1 packet per window, not doubling.
+        assert sender.cwnd < 2 * before
+
+    def test_no_static_bdp_cap(self):
+        _, _, _, sender = make_sender()
+        assert sender.config.bdp_fc_enabled is False
+
+
+class TestFastRetransmit:
+    def test_three_dupacks_trigger_fast_retransmit(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=10)
+        drain(sender, 0.0)
+        # Packet 0 was lost: every NACK repeats cumulative_ack=0 (a dup-ack).
+        for sacked in (1, 2, 3):
+            sender.on_control(nack(flow, cumulative=0, sack=sacked), now=1e-4)
+        assert sender.fast_retransmits == 1
+        assert sender.in_recovery
+        retransmit = sender.next_packet(1e-4)
+        assert retransmit.psn == 0
+        assert retransmit.retransmitted
+
+    def test_window_halved_on_fast_retransmit(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=10)
+        drain(sender, 0.0)
+        before = sender.cwnd
+        for sacked in (1, 2, 3):
+            sender.on_control(nack(flow, cumulative=0, sack=sacked), now=1e-4)
+        assert sender.cwnd < before
+
+    def test_fewer_than_three_dupacks_do_not_trigger(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=10)
+        drain(sender, 0.0)
+        sender.on_control(nack(flow, cumulative=2, sack=3), now=1e-4)
+        sender.on_control(nack(flow, cumulative=2, sack=4), now=1.1e-4)
+        assert sender.fast_retransmits == 0
+
+
+class TestRtoEstimation:
+    def test_rto_tracks_measured_rtt(self):
+        _, _, flow, sender = make_sender(initial_cwnd_packets=4, min_rto_s=1e-5)
+        drain(sender, 0.0)
+        sender.on_control(ack(flow, 1, echo_time=0.0), now=200e-6)
+        assert sender._srtt == pytest.approx(200e-6)
+        assert sender._rto >= 200e-6
+
+    def test_timeout_collapses_window_and_backs_off(self):
+        sim, _, flow, sender = make_sender(initial_cwnd_packets=8, initial_rto_s=1e-4)
+        drain(sender, 0.0)
+        rto_before = sender._rto
+        sim.run(until=3e-4)
+        assert sender.timeouts_fired >= 1
+        assert sender.cwnd == pytest.approx(1.0)
+        assert sender._rto >= rto_before
+
+    def test_completion(self):
+        _, _, flow, sender = make_sender(size_bytes=3_000, initial_cwnd_packets=10)
+        drain(sender, 0.0)
+        sender.on_control(ack(flow, 3), now=1e-4)
+        assert sender.completed

@@ -1,0 +1,145 @@
+"""Tests for links and output ports."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, OutputPort
+from repro.sim.packet import Packet, PacketType
+
+
+class SinkNode:
+    """Records every packet delivered to it."""
+
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def receive(self, packet, link):
+        self.received.append(packet)
+
+
+class QueueSource:
+    """A PacketSource backed by a plain list."""
+
+    def __init__(self):
+        self.queue = []
+
+    def next_packet(self, port):
+        if self.queue:
+            return self.queue.pop(0)
+        return None
+
+
+def make_link(sim, bandwidth=8e9, delay=1e-6):
+    src = SinkNode("src")
+    dst = SinkNode("dst")
+    link = Link(sim, src, dst, bandwidth, delay)
+    source = QueueSource()
+    port = OutputPort(sim, link, source)
+    return link, port, source, dst
+
+
+def data_packet(payload=1000, header=0):
+    return Packet(PacketType.DATA, 1, "src", "dst", payload_bytes=payload, header_bytes=header)
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        link, _, _, _ = make_link(sim, bandwidth=8e9)
+        assert link.serialization_delay(data_packet(1000)) == pytest.approx(1e-6)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        a, b = SinkNode("a"), SinkNode("b")
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 0, 1e-6)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 1e9, -1.0)
+
+    def test_utilization_tracks_busy_time(self):
+        sim = Simulator()
+        link, port, source, _ = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.append(data_packet(1000))
+        port.kick()
+        sim.run_until_idle()
+        assert link.utilization(2e-6) == pytest.approx(0.5)
+
+
+class TestOutputPort:
+    def test_packet_arrives_after_serialization_and_propagation(self):
+        sim = Simulator()
+        link, port, source, dst = make_link(sim, bandwidth=8e9, delay=2e-6)
+        source.queue.append(data_packet(1000))  # 1 us serialization
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+        assert sim.now == pytest.approx(3e-6)
+
+    def test_packets_are_serialized_back_to_back(self):
+        sim = Simulator()
+        link, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.extend([data_packet(1000), data_packet(1000)])
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 2
+        assert sim.now == pytest.approx(2e-6)
+        assert link.packets_sent == 2
+        assert link.bytes_sent == 2000
+
+    def test_kick_while_busy_does_not_duplicate(self):
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.append(data_packet(1000))
+        port.kick()
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+
+    def test_pause_blocks_new_transmissions(self):
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.append(data_packet(1000))
+        port.pause()
+        port.kick()
+        sim.run_until_idle()
+        assert dst.received == []
+
+    def test_resume_restarts_transmission(self):
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.append(data_packet(1000))
+        port.pause()
+        port.kick()
+        port.resume()
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+        assert port.pause_count == 1
+        assert port.resume_count == 1
+
+    def test_pause_lets_in_flight_packet_finish(self):
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.extend([data_packet(1000), data_packet(1000)])
+        port.kick()
+        # Pause mid-transmission of the first packet.
+        sim.schedule(0.5e-6, port.pause)
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+
+    def test_control_direct_bypasses_pause(self):
+        sim = Simulator()
+        _, port, _, dst = make_link(sim, bandwidth=8e9, delay=1e-6)
+        port.pause()
+        frame = Packet(PacketType.PFC_PAUSE, -1, "src", "dst")
+        port.send_control_direct(frame)
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+
+    def test_paused_time_accounting(self):
+        sim = Simulator()
+        _, port, _, _ = make_link(sim)
+        port.pause()
+        sim.schedule(5e-6, port.resume)
+        sim.run_until_idle()
+        assert port.paused_time == pytest.approx(5e-6)

@@ -1,0 +1,139 @@
+"""Tests for metric computation: percentiles, summaries, slowdowns, CDFs."""
+
+import pytest
+
+from repro.core.transport import Flow
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.stats import MetricSummary, mean, percentile, summarize, tail_cdf
+from repro.sim.engine import Simulator
+from repro.topology.simple import build_star
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_interpolates_between_points(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = list(range(100))
+        assert percentile(values, 0.0) == 0
+        assert percentile(values, 1.0) == 99
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 1.5)
+
+
+class TestSummaries:
+    def test_summarize_matches_inputs(self):
+        summary = summarize(fcts=[1.0, 2.0, 3.0], slowdowns=[2.0, 4.0, 6.0])
+        assert summary.avg_fct == pytest.approx(2.0)
+        assert summary.avg_slowdown == pytest.approx(4.0)
+        assert summary.tail_fct == pytest.approx(2.98)
+        assert summary.num_flows == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], [1.0, 2.0])
+
+    def test_ratio_to(self):
+        a = MetricSummary(avg_slowdown=2.0, avg_fct=4.0, tail_fct=8.0, num_flows=10)
+        b = MetricSummary(avg_slowdown=4.0, avg_fct=8.0, tail_fct=16.0, num_flows=10)
+        assert a.ratio_to(b) == (0.5, 0.5, 0.5)
+
+    def test_as_row_order(self):
+        summary = MetricSummary(1.0, 2.0, 3.0, 4)
+        assert summary.as_row() == (1.0, 2.0, 3.0)
+
+    def test_tail_cdf_is_monotone(self):
+        values = [float(i) for i in range(1000)]
+        cdf = tail_cdf(values, start_fraction=0.9, points=20)
+        latencies = [point[0] for point in cdf]
+        fractions = [point[1] for point in cdf]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert fractions[0] == pytest.approx(0.9)
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestCollector:
+    def make_collector(self):
+        sim = Simulator()
+        network = build_star(sim, 3, bandwidth_bps=10e9, link_delay_s=1e-6)
+        return MetricsCollector(network, mtu_bytes=1000, header_bytes=0)
+
+    def test_ideal_fct_for_single_packet_flow(self):
+        collector = self.make_collector()
+        flow = Flow(flow_id=1, src="h0", dst="h1", size_bytes=1000)
+        ideal = collector.ideal_fct(flow)
+        # 1000B at 10 Gbps = 0.8 us transmission, + 2 us propagation
+        # + one store-and-forward hop of 0.8 us.
+        assert ideal == pytest.approx(0.8e-6 + 2e-6 + 0.8e-6, rel=1e-3)
+
+    def test_slowdown_never_below_one(self):
+        collector = self.make_collector()
+        flow = Flow(flow_id=1, src="h0", dst="h1", size_bytes=1000, start_time=0.0)
+        flow.completion_time = 1e-9   # impossibly fast
+        collector.on_flow_complete(flow, flow.completion_time)
+        assert collector.records[0].slowdown == 1.0
+
+    def test_summary_over_completed_flows(self):
+        collector = self.make_collector()
+        for i, fct in enumerate((1e-5, 2e-5, 3e-5)):
+            flow = Flow(flow_id=i, src="h0", dst="h1", size_bytes=5000, start_time=0.0)
+            flow.completion_time = fct
+            collector.on_flow_complete(flow, fct)
+        summary = collector.summary()
+        assert summary.num_flows == 3
+        assert summary.avg_fct == pytest.approx(2e-5)
+
+    def test_summary_requires_completions(self):
+        collector = self.make_collector()
+        with pytest.raises(RuntimeError):
+            collector.summary()
+
+    def test_group_filtering(self):
+        collector = self.make_collector()
+        for i, group in enumerate(("incast", "background", "background")):
+            flow = Flow(flow_id=i, src="h0", dst="h1", size_bytes=1000, group=group)
+            flow.completion_time = 1e-5 * (i + 1)
+            collector.on_flow_complete(flow, flow.completion_time)
+        assert collector.summary(group="background").num_flows == 2
+        assert collector.summary(group="incast").num_flows == 1
+
+    def test_single_packet_latencies(self):
+        collector = self.make_collector()
+        small = Flow(flow_id=1, src="h0", dst="h1", size_bytes=100)
+        small.completion_time = 5e-6
+        large = Flow(flow_id=2, src="h0", dst="h1", size_bytes=50_000)
+        large.completion_time = 5e-4
+        collector.on_flow_complete(small, 5e-6)
+        collector.on_flow_complete(large, 5e-4)
+        latencies = collector.single_packet_latencies()
+        assert latencies == [5e-6]
+
+    def test_completion_fraction(self):
+        collector = self.make_collector()
+        flow = Flow(flow_id=1, src="h0", dst="h1", size_bytes=100)
+        flow.completion_time = 1e-6
+        collector.on_flow_complete(flow, 1e-6)
+        assert collector.completion_fraction(4) == 0.25
+
+    def test_flow_fct_requires_completion(self):
+        flow = Flow(flow_id=1, src="h0", dst="h1", size_bytes=100)
+        with pytest.raises(RuntimeError):
+            flow.fct()
+        assert flow.num_packets(1000) == 1
+        assert Flow(flow_id=2, src="a", dst="b", size_bytes=2500).num_packets(1000) == 3

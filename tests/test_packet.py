@@ -1,0 +1,64 @@
+"""Tests for packet and frame definitions."""
+
+from repro.sim.packet import (
+    CONTROL_FRAME_BYTES,
+    DEFAULT_HEADER_BYTES,
+    PFC_FRAME_BYTES,
+    Packet,
+    PacketType,
+)
+
+
+class TestPacketSizes:
+    def test_data_packet_size_includes_header(self):
+        packet = Packet(PacketType.DATA, flow_id=1, src="a", dst="b", payload_bytes=1000)
+        assert packet.size_bytes == 1000 + DEFAULT_HEADER_BYTES
+
+    def test_custom_header_size(self):
+        packet = Packet(
+            PacketType.DATA, flow_id=1, src="a", dst="b", payload_bytes=1000, header_bytes=64
+        )
+        assert packet.size_bytes == 1064
+
+    def test_ack_is_a_fixed_size_control_frame(self):
+        packet = Packet(PacketType.ACK, flow_id=1, src="a", dst="b")
+        assert packet.size_bytes == CONTROL_FRAME_BYTES
+
+    def test_nack_and_cnp_are_control_frames(self):
+        for ptype in (PacketType.NACK, PacketType.CNP):
+            packet = Packet(ptype, flow_id=1, src="a", dst="b", payload_bytes=5000)
+            assert packet.size_bytes == CONTROL_FRAME_BYTES
+
+    def test_pfc_frame_size(self):
+        packet = Packet(PacketType.PFC_PAUSE, flow_id=-1, src="a", dst="b")
+        assert packet.size_bytes == PFC_FRAME_BYTES
+
+    def test_size_bits(self):
+        packet = Packet(PacketType.DATA, flow_id=1, src="a", dst="b", payload_bytes=100)
+        assert packet.size_bits == packet.size_bytes * 8
+
+
+class TestPacketClassification:
+    def test_is_control(self):
+        assert Packet(PacketType.ACK, 1, "a", "b").is_control()
+        assert Packet(PacketType.NACK, 1, "a", "b").is_control()
+        assert Packet(PacketType.CNP, 1, "a", "b").is_control()
+        assert not Packet(PacketType.DATA, 1, "a", "b").is_control()
+        assert not Packet(PacketType.PFC_PAUSE, 1, "a", "b").is_control()
+
+    def test_is_pfc(self):
+        assert Packet(PacketType.PFC_PAUSE, 1, "a", "b").is_pfc()
+        assert Packet(PacketType.PFC_RESUME, 1, "a", "b").is_pfc()
+        assert not Packet(PacketType.DATA, 1, "a", "b").is_pfc()
+
+    def test_unique_ids_assigned(self):
+        a = Packet(PacketType.DATA, 1, "a", "b")
+        b = Packet(PacketType.DATA, 1, "a", "b")
+        assert a.uid != b.uid
+
+    def test_default_fields(self):
+        packet = Packet(PacketType.DATA, 3, "a", "b", psn=9)
+        assert packet.psn == 9
+        assert packet.ecn is False
+        assert packet.sack_psn is None
+        assert packet.retransmitted is False

@@ -1,0 +1,57 @@
+"""Tests for PFC primitives and switch-level pause behaviour."""
+
+import pytest
+
+from repro.sim.pfc import PfcConfig, PfcState, headroom_for_link
+
+
+class TestPfcConfig:
+    def test_pause_threshold_is_buffer_minus_headroom(self):
+        config = PfcConfig(enabled=True, headroom_bytes=20_000)
+        assert config.pause_threshold(240_000) == 220_000
+
+    def test_threshold_never_negative(self):
+        config = PfcConfig(headroom_bytes=50_000)
+        assert config.pause_threshold(10_000) == 0
+
+    def test_resume_threshold_matches_pause_threshold(self):
+        config = PfcConfig(headroom_bytes=10_000)
+        assert config.resume_threshold(100_000) == config.pause_threshold(100_000)
+
+    def test_headroom_covers_in_flight_bytes(self):
+        # 40 Gbps, 2 us propagation: 2 * 40e9 * 2e-6 / 8 = 20 KB of in-flight
+        # data plus slack for packets in serialization.
+        headroom = headroom_for_link(40e9, 2e-6, mtu_bytes=1000)
+        assert headroom >= 20_000
+        assert headroom <= 30_000
+
+    def test_headroom_scales_with_bandwidth(self):
+        assert headroom_for_link(100e9, 2e-6) > headroom_for_link(10e9, 2e-6)
+
+
+class TestPfcState:
+    def test_pause_only_once_until_resumed(self):
+        state = PfcState()
+        assert state.should_pause(100, threshold=50)
+        state.mark_paused()
+        assert not state.should_pause(200, threshold=50)
+
+    def test_resume_only_when_paused(self):
+        state = PfcState()
+        assert not state.should_resume(0, threshold=50)
+        state.mark_paused()
+        assert state.should_resume(10, threshold=50)
+        assert not state.should_resume(60, threshold=50)
+
+    def test_frame_counters(self):
+        state = PfcState()
+        state.mark_paused()
+        state.mark_resumed()
+        state.mark_paused()
+        assert state.pause_frames_sent == 2
+        assert state.resume_frames_sent == 1
+
+    def test_below_threshold_does_not_pause(self):
+        state = PfcState()
+        assert not state.should_pause(49, threshold=50)
+        assert state.should_pause(50, threshold=50)

@@ -1,0 +1,118 @@
+"""Tests for ECMP and packet-spray routing."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketType
+from repro.sim.routing import EcmpRouting, PacketSprayRouting, compute_next_hop_table
+from repro.topology.fattree import FatTreeParams, build_fat_tree
+from repro.topology.simple import build_dumbbell
+
+
+def simple_adjacency():
+    # A diamond: a - (b | c) - d
+    return {
+        "a": {"b", "c"},
+        "b": {"a", "d"},
+        "c": {"a", "d"},
+        "d": {"b", "c"},
+    }
+
+
+class TestNextHopTable:
+    def test_shortest_path_next_hops(self):
+        table = compute_next_hop_table(simple_adjacency(), ["d"])
+        assert sorted(table["a"]["d"]) == ["b", "c"]
+        assert table["b"]["d"] == ["d"]
+        assert table["c"]["d"] == ["d"]
+
+    def test_unknown_destination_raises(self):
+        with pytest.raises(KeyError):
+            compute_next_hop_table(simple_adjacency(), ["z"])
+
+    def test_destination_has_no_self_entry(self):
+        table = compute_next_hop_table(simple_adjacency(), ["d"])
+        assert "d" not in table["d"]
+
+
+class _FakeNode:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestEcmp:
+    def test_flow_always_takes_the_same_path(self):
+        routing = EcmpRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        node = _FakeNode("a")
+        packet = Packet(PacketType.DATA, flow_id=42, src="a", dst="d")
+        hops = {routing.next_hop(node, packet) for _ in range(20)}
+        assert len(hops) == 1
+
+    def test_different_flows_spread_over_paths(self):
+        routing = EcmpRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        node = _FakeNode("a")
+        hops = {
+            routing.next_hop(node, Packet(PacketType.DATA, flow_id=f, src="a", dst="d"))
+            for f in range(64)
+        }
+        assert hops == {"b", "c"}
+
+    def test_path_reaches_destination(self):
+        routing = EcmpRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        path = routing.path("a", "d", flow_id=7)
+        assert path[0] == "a"
+        assert path[-1] == "d"
+        assert len(path) == 3
+
+    def test_hop_count(self):
+        routing = EcmpRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        assert routing.hop_count("a", "d") == 2
+
+    def test_missing_route_raises(self):
+        routing = EcmpRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        with pytest.raises(KeyError):
+            routing.candidates("a", "nonexistent")
+
+
+class TestPacketSpray:
+    def test_packets_of_one_flow_use_multiple_paths(self):
+        routing = PacketSprayRouting(compute_next_hop_table(simple_adjacency(), ["d"]))
+        node = _FakeNode("a")
+        hops = {
+            routing.next_hop(node, Packet(PacketType.DATA, flow_id=1, src="a", dst="d"))
+            for _ in range(64)
+        }
+        assert hops == {"b", "c"}
+
+
+class TestFatTreeRouting:
+    def test_all_host_pairs_are_routable(self):
+        sim = Simulator()
+        network = build_fat_tree(sim, FatTreeParams(k=4))
+        routing = network.routing
+        hosts = list(network.hosts)
+        for src in hosts[:4]:
+            for dst in hosts[-4:]:
+                if src == dst:
+                    continue
+                path = routing.path(src, dst, flow_id=1)
+                assert path[0] == src and path[-1] == dst
+
+    def test_inter_pod_paths_have_six_hops(self):
+        sim = Simulator()
+        network = build_fat_tree(sim, FatTreeParams(k=4))
+        # h0 is in pod 0, the last host is in pod k-1.
+        hosts = sorted(network.hosts, key=lambda h: int(h[1:]))
+        hop_count = network.routing.hop_count(hosts[0], hosts[-1], flow_id=3)
+        assert hop_count == 6
+
+    def test_same_edge_paths_have_two_hops(self):
+        sim = Simulator()
+        network = build_fat_tree(sim, FatTreeParams(k=4))
+        assert network.routing.hop_count("h0", "h1", flow_id=1) == 2
+
+    def test_dumbbell_cross_traffic_traverses_bottleneck(self):
+        sim = Simulator()
+        network = build_dumbbell(sim, hosts_per_side=2)
+        path = network.routing.path("h0", "h2", flow_id=1)
+        assert "s0" in path and "s1" in path
