@@ -1,21 +1,34 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one table or figure of the paper on a scaled-down
-fabric (see DESIGN.md for the scaling rationale) and prints the rows in the
-same shape the paper reports, so EXPERIMENTS.md can record paper-vs-measured
-side by side.  ``pytest-benchmark`` measures the wall-clock cost of each
+fabric (see README.md for the benchmark-to-figure map and the scaling
+rationale) and prints the rows in the same shape the paper reports, so
+paper-vs-measured comparisons can be read side by side.  ``pytest-benchmark`` measures the wall-clock cost of each
 scenario; simulations run exactly once (rounds=1) because a single run is
 already seconds long and deterministic for its seed.
+
+Scenarios execute through :func:`repro.experiments.sweep.run_sweep`, which
+fans the independent cells of a figure out across worker processes and hands
+back flat :class:`ResultRow` records.  Set ``REPRO_BENCH_WORKERS=1`` to force
+the serial path (results are bit-identical either way).  Benchmarks never
+pass a cache: the wall-clock measurement must time real simulator runs.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import os
+from typing import Dict, Optional, Union
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ResultRow
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.sweep import run_sweep
+
+#: The printing/assertion helpers only touch the surface the two result
+#: types share (summary, drop_rate, fabric counters, completion_fraction).
+AnyResult = Union[ResultRow, ExperimentResult]
 
 #: Flow count used by benchmark scenarios (smaller than the library default
 #: so the full suite of ~20 benchmarks finishes in minutes).
@@ -24,11 +37,32 @@ BENCH_FLOWS = 120
 BENCH_SEED = 1
 
 
+def _bench_workers() -> Optional[int]:
+    value = os.environ.get("REPRO_BENCH_WORKERS")
+    return int(value) if value else None
+
+
 def run_scenarios(
     benchmark,
     configs: Dict[str, ExperimentConfig],
+) -> Dict[str, ResultRow]:
+    """Sweep every config once inside the benchmark timer; flat rows out."""
+
+    def _run_all() -> Dict[str, ResultRow]:
+        return dict(run_sweep(configs, workers=_bench_workers()).rows)
+
+    return benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+
+def run_scenarios_full(
+    benchmark,
+    configs: Dict[str, ExperimentConfig],
 ) -> Dict[str, ExperimentResult]:
-    """Run every config once inside the benchmark timer and return results."""
+    """Serial in-process variant keeping the heavyweight results.
+
+    For benchmarks that need the :class:`MetricsCollector` afterwards (e.g.
+    Figure 8's per-flow latency CDF), which a :class:`ResultRow` drops.
+    """
 
     def _run_all() -> Dict[str, ExperimentResult]:
         return {label: run_experiment(config) for label, config in configs.items()}
@@ -36,7 +70,7 @@ def run_scenarios(
     return benchmark.pedantic(_run_all, rounds=1, iterations=1)
 
 
-def print_metric_table(title: str, results: Dict[str, ExperimentResult]) -> None:
+def print_metric_table(title: str, results: Dict[str, AnyResult]) -> None:
     """Print the paper's three metrics for each scheme."""
     print(f"\n=== {title} ===")
     print(f"{'scheme':<34} {'avg slowdown':>13} {'avg FCT (ms)':>13} {'99% FCT (ms)':>13} "
@@ -50,7 +84,7 @@ def print_metric_table(title: str, results: Dict[str, ExperimentResult]) -> None
 
 def print_ratio_rows(
     title: str,
-    rows: Dict[str, Dict[str, ExperimentResult]],
+    rows: Dict[str, Dict[str, AnyResult]],
 ) -> None:
     """Print appendix-style rows: IRN absolute values plus the two ratios."""
     print(f"\n=== {title} ===")
@@ -70,7 +104,7 @@ def print_ratio_rows(
             print(f"{row_label:<22} {name:<14} {value:>10.4f} {ratio_pfc:>13.3f} {ratio_roce:>13.3f}")
 
 
-def assert_all_completed(results: Dict[str, ExperimentResult]) -> None:
+def assert_all_completed(results: Dict[str, AnyResult]) -> None:
     """Every injected flow must have finished within the simulated horizon."""
     for label, result in results.items():
         assert result.completion_fraction() == pytest.approx(1.0), (

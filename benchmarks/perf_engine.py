@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Event-loop throughput measurement (not a pytest benchmark).
+
+Reports events per second for two workloads:
+
+* ``churn``   -- a synthetic self-rescheduling event chain with a realistic
+  fraction of cancelled timers (the pattern transports create: every data
+  packet schedules an RTO that is almost always cancelled by its ACK).
+* ``macro``   -- one full ``run_experiment`` of the scaled-down Figure 1
+  scenario, measuring end-to-end simulator throughput.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.engine import Simulator
+
+
+def churn(num_events: int = 400_000, fanout: int = 4) -> float:
+    """Self-sustaining event churn; returns executed events per second."""
+    sim = Simulator(seed=1)
+    state = {"remaining": num_events}
+
+    def tick(depth: int) -> None:
+        if state["remaining"] <= 0:
+            return
+        state["remaining"] -= 1
+        # Schedule a few future events and cancel most of them, mimicking the
+        # RTO-set/RTO-cancel pattern of the transports.
+        keep = sim.schedule(1e-6, tick, depth + 1)
+        for _ in range(fanout - 1):
+            sim.cancel(sim.schedule(2e-6, tick, depth + 1))
+        del keep
+
+    sim.schedule(0.0, tick, 0)
+    start = time.perf_counter()
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - start
+    return sim.events_processed / elapsed
+
+
+def macro() -> float:
+    """Events per second of one scaled-down Figure 1 IRN run."""
+    from repro.experiments import scenarios
+    from repro.experiments.runner import _build_network, _generate_flows, _FlowLauncher
+    from repro.metrics.collector import MetricsCollector
+
+    config = scenarios.fig1_configs(num_flows=120)["IRN (without PFC)"]
+    sim = Simulator(seed=config.seed)
+    network = _build_network(sim, config)
+    collector = MetricsCollector(
+        network, mtu_bytes=config.mtu_bytes, header_bytes=config.effective_header_bytes()
+    )
+    launcher = _FlowLauncher(sim, network, config, collector)
+    for flow in _generate_flows(config, network):
+        sim.schedule_at(flow.start_time, launcher.launch, flow)
+    start = time.perf_counter()
+    sim.run(until=config.max_sim_time_s, max_events=config.max_events)
+    elapsed = time.perf_counter() - start
+    return sim.events_processed / elapsed
+
+
+def main() -> None:
+    for name, fn in (("churn", churn), ("macro", macro)):
+        rates = [fn() for _ in range(3)]
+        best = max(rates)
+        print(f"{name:<6} {best:>12,.0f} events/s  (best of {len(rates)})")
+
+
+if __name__ == "__main__":
+    main()

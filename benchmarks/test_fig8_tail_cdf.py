@@ -9,12 +9,14 @@ PFC makes them wait behind paused queues.
 from repro.experiments import scenarios
 from repro.metrics.stats import percentile
 
-from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios
+from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios_full
 
 
 def test_fig8_single_packet_tail_latency(benchmark):
+    # Runs serially via run_scenarios_full: the per-flow latency CDF below
+    # needs the MetricsCollector, which the sweep's flat rows drop.
     configs = scenarios.fig8_configs(num_flows=100, seed=BENCH_SEED)
-    results = run_scenarios(benchmark, configs)
+    results = run_scenarios_full(benchmark, configs)
     print_metric_table("Figure 8 inputs (all flows)", results)
 
     print("\n=== Figure 8: single-packet message latency tail (ms) ===")

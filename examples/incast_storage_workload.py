@@ -7,47 +7,52 @@ the genuinely congestion-causing flows get paused.  This example runs the
 incast with and without cross traffic and reports the request completion time
 (RCT) and the impact on the background workload.
 
+All scenarios (two fan-ins x two transports, plus the cross-traffic pair)
+are independent, so they execute as one parallel sweep.
+
 Run with::
 
     python examples/incast_storage_workload.py
 """
 
 from repro.experiments import scenarios
-from repro.experiments.runner import run_experiment
-
-
-def run_set(label: str, configs) -> None:
-    print(f"\n=== {label} ===")
-    print(f"{'scheme':<22} {'incast RCT (ms)':>16} {'bg avg slowdown':>16} {'drops':>7} {'pauses':>7}")
-    for name, config in configs.items():
-        result = run_experiment(config)
-        rct = result.incast_rct_s * 1e3 if result.incast_rct_s is not None else float("nan")
-        background = result.background_summary
-        bg_slowdown = background.avg_slowdown if background is not None else float("nan")
-        print(f"{name:<22} {rct:>16.3f} {bg_slowdown:>16.2f} "
-              f"{result.packets_dropped:>7d} {result.pause_frames:>7d}")
+from repro.experiments.sweep import run_sweep
 
 
 def main() -> None:
-    # Pure incast: vary the fan-in (Figure 9's x axis).
-    pure = scenarios.fig9_configs(fan_ins=(5, 10), total_bytes=2_000_000)
+    # Pure incast: vary the fan-in (Figure 9's x axis).  Cross-traffic
+    # scenarios ride along in the same sweep under a label prefix.
+    fan_ins = (5, 10)
+    configs = scenarios.fig9_configs(fan_ins=fan_ins, total_bytes=2_000_000)
+    configs.update({
+        "cross-traffic " + label: config
+        for label, config in scenarios.incast_with_cross_traffic_configs(
+            fan_in=8, total_bytes=1_500_000, num_flows=80
+        ).items()
+    })
+    sweep = run_sweep(configs)
+
     print("Pure incast (no cross traffic): RCT of the striped request")
     print(f"{'scheme':<14} {'RCT (ms)':>10}")
-    rcts = {}
-    for name, config in pure.items():
-        result = run_experiment(config)
-        rcts[name] = result.incast_rct_s
-        print(f"{name:<14} {result.incast_rct_s * 1e3:>10.3f}")
-    for fan_in in (5, 10):
-        ratio = rcts[f"IRN M={fan_in}"] / rcts[f"RoCE M={fan_in}"]
+    for fan_in in fan_ins:
+        for transport in ("RoCE", "IRN"):
+            label = f"{transport} M={fan_in}"
+            print(f"{label:<14} {sweep[label].incast_rct_s * 1e3:>10.3f}")
+    for fan_in in fan_ins:
+        ratio = sweep[f"IRN M={fan_in}"].incast_rct_s / sweep[f"RoCE M={fan_in}"].incast_rct_s
         print(f"  fan-in {fan_in}: IRN/RoCE RCT ratio = {ratio:.3f} "
               f"(paper: within a few percent of 1.0)")
 
-    # Incast sharing the fabric with a 50%-load background workload.
-    run_set(
-        "Incast with cross traffic (50% background load)",
-        scenarios.incast_with_cross_traffic_configs(fan_in=8, total_bytes=1_500_000, num_flows=80),
-    )
+    print("\n=== Incast with cross traffic (50% background load) ===")
+    print(f"{'scheme':<36} {'incast RCT (ms)':>16} {'bg avg slowdown':>16} {'drops':>7} {'pauses':>7}")
+    for label, row in sweep.rows.items():
+        if not label.startswith("cross-traffic"):
+            continue
+        rct = row.incast_rct_s * 1e3 if row.incast_rct_s is not None else float("nan")
+        background = row.background_summary
+        bg_slowdown = background.avg_slowdown if background is not None else float("nan")
+        print(f"{label:<36} {rct:>16.3f} {bg_slowdown:>16.2f} "
+              f"{row.packets_dropped:>7d} {row.pause_frames:>7d}")
 
 
 if __name__ == "__main__":

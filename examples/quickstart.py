@@ -5,32 +5,42 @@ This reproduces the headline comparison of the paper (Figure 1) on a scaled-
 down fat-tree: a heavy-tailed RPC/storage workload at 70% load, ECMP load
 balancing, buffers of twice the bandwidth-delay product.
 
+Both scenarios run in parallel through the sweep subsystem, and completed
+results are cached on disk -- re-running this script is instant, and editing
+one scenario only re-runs that scenario.  Delete the cache directory (or run
+with ``--no-cache``) to force fresh simulations.
+
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--no-cache]
 """
 
-from repro.core.factory import TransportKind
+import sys
+
 from repro.experiments import scenarios
-from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import ResultCache, run_sweep
+
+CACHE_DIR = ".sweep-cache/quickstart"
 
 
 def main() -> None:
+    cache = None if "--no-cache" in sys.argv[1:] else ResultCache(CACHE_DIR)
     configs = scenarios.fig1_configs(num_flows=120)
     print("Comparing IRN (no PFC) with RoCE (PFC) on a k=4 fat-tree, 70% load")
+    sweep = run_sweep(configs, cache=cache)
+    if cache is not None and sweep.cache_hits:
+        print(f"({sweep.cache_hits}/{len(sweep)} scenarios served from {CACHE_DIR})")
+
     print(f"{'scheme':<22} {'avg slowdown':>12} {'avg FCT (ms)':>14} {'99% FCT (ms)':>14} "
           f"{'drops':>7} {'pauses':>7}")
-    results = {}
-    for label, config in configs.items():
-        result = run_experiment(config)
-        results[label] = result
-        print(f"{label:<22} {result.summary.avg_slowdown:>12.2f} "
-              f"{result.summary.avg_fct * 1e3:>14.4f} {result.summary.tail_fct * 1e3:>14.4f} "
-              f"{result.packets_dropped:>7d} {result.pause_frames:>7d}")
+    for label, row in sweep.rows.items():
+        print(f"{label:<22} {row.avg_slowdown:>12.2f} "
+              f"{row.avg_fct_s * 1e3:>14.4f} {row.tail_fct_s * 1e3:>14.4f} "
+              f"{row.packets_dropped:>7d} {row.pause_frames:>7d}")
 
-    irn = results["IRN (without PFC)"]
-    roce = results["RoCE (with PFC)"]
-    improvement = (1.0 - irn.summary.avg_slowdown / roce.summary.avg_slowdown) * 100.0
+    irn = sweep["IRN (without PFC)"]
+    roce = sweep["RoCE (with PFC)"]
+    improvement = (1.0 - irn.avg_slowdown / roce.avg_slowdown) * 100.0
     print(f"\nIRN improves average slowdown by {improvement:.0f}% while running on a lossy "
           f"fabric ({irn.packets_dropped} packets dropped, zero PFC pauses).")
 

@@ -7,7 +7,15 @@ from repro.experiments.config import (
     TransportKind,
     WorkloadKind,
 )
+from repro.experiments.results import ResultRow
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.sweep import (
+    ParameterGrid,
+    ResultCache,
+    SweepResult,
+    aggregate_rows,
+    run_sweep,
+)
 from repro.experiments import scenarios
 
 __all__ = [
@@ -17,6 +25,12 @@ __all__ = [
     "TransportKind",
     "WorkloadKind",
     "ExperimentResult",
+    "ResultRow",
+    "ParameterGrid",
+    "ResultCache",
+    "SweepResult",
+    "aggregate_rows",
     "run_experiment",
+    "run_sweep",
     "scenarios",
 ]

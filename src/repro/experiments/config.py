@@ -8,9 +8,11 @@ parameters under study.  Presets for the paper's scenarios live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 from enum import Enum
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.core.factory import TransportKind
 from repro.sim.pfc import PfcConfig, headroom_for_link
@@ -228,3 +230,37 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy of the config with the given fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Stable serialization (sweep cache keys)
+    # ------------------------------------------------------------------
+    def to_canonical_dict(self) -> Dict[str, Any]:
+        """All simulation-relevant fields as JSON-safe values, stably ordered.
+
+        Enums collapse to their ``.value`` and nested dataclasses (e.g.
+        :class:`IncastParams`) to sorted dicts, so two configs that would run
+        identical simulations serialize identically across processes and
+        Python versions.  The cosmetic ``name`` field is excluded: it never
+        influences a run, and including it would make renamed presets miss
+        the sweep cache for physically identical simulations.
+        """
+        payload = asdict(self)
+        del payload["name"]
+        return _canonical(payload)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this config (the sweep cache key)."""
+        payload = json.dumps(
+            self.to_canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {key: _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value

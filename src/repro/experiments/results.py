@@ -1,0 +1,162 @@
+"""Lightweight, picklable experiment results.
+
+:class:`~repro.experiments.runner.ExperimentResult` is deliberately
+heavyweight: it keeps the :class:`~repro.metrics.collector.MetricsCollector`
+(with its back-reference into the live network) and every :class:`Flow`
+object, so post-hoc analyses such as tail CDFs stay possible.  That payload
+cannot cross a process boundary cheaply, and a sweep over hundreds of cells
+must not hold hundreds of simulated networks alive.
+
+:class:`ResultRow` is the flat record that the sweep subsystem ships between
+worker processes and stores in the on-disk cache: plain strings, numbers and
+booleans only, so it pickles in microseconds and round-trips through JSON.
+It mirrors the parts of ``ExperimentResult`` the benchmarks assert against
+(``summary``, ``drop_rate``, fabric counters, ``completion_fraction()``), so
+code written against one works against the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.metrics.stats import MetricSummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """Flat, immutable outcome of one simulation run.
+
+    Every field is a JSON-representable scalar; see
+    :meth:`from_result` / :meth:`to_dict` / :meth:`from_dict`.
+    """
+
+    # --- identity ---------------------------------------------------------
+    label: str
+    name: str
+    fingerprint: str
+    transport: str
+    congestion_control: str
+    topology: str
+    pfc_enabled: bool
+    seed: int
+
+    # --- headline metrics (the paper's three, over completed flows) -------
+    avg_slowdown: float
+    avg_fct_s: float
+    tail_fct_s: float
+    num_flows: int
+
+    # --- completion accounting --------------------------------------------
+    flows_total: int
+    flows_completed: int
+
+    # --- simulation / fabric counters --------------------------------------
+    sim_time_s: float
+    events_processed: int
+    packets_dropped: int
+    pause_frames: int
+    packets_forwarded: int
+    data_packets_sent: int
+    retransmissions: int
+    timeouts: int
+
+    # --- optional incast / cross-traffic metrics (§4.4.3) ------------------
+    incast_rct_s: Optional[float] = None
+    background_avg_slowdown: Optional[float] = None
+    background_avg_fct_s: Optional[float] = None
+    background_tail_fct_s: Optional[float] = None
+    background_num_flows: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # ExperimentResult-compatible views
+    # ------------------------------------------------------------------
+    @property
+    def summary(self) -> MetricSummary:
+        """The headline metrics in :class:`MetricSummary` form."""
+        return MetricSummary(
+            avg_slowdown=self.avg_slowdown,
+            avg_fct=self.avg_fct_s,
+            tail_fct=self.tail_fct_s,
+            num_flows=self.num_flows,
+        )
+
+    @property
+    def background_summary(self) -> Optional[MetricSummary]:
+        """Metrics restricted to background traffic, when recorded."""
+        if self.background_avg_slowdown is None:
+            return None
+        return MetricSummary(
+            avg_slowdown=self.background_avg_slowdown,
+            avg_fct=self.background_avg_fct_s or 0.0,
+            tail_fct=self.background_tail_fct_s or 0.0,
+            num_flows=self.background_num_flows or 0,
+        )
+
+    @property
+    def drop_rate(self) -> float:
+        """Dropped packets as a fraction of data packets sent."""
+        if self.data_packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.data_packets_sent
+
+    def completion_fraction(self) -> float:
+        """Fraction of injected flows that completed."""
+        if self.flows_total == 0:
+            return 0.0
+        return self.flows_completed / self.flows_total
+
+    # ------------------------------------------------------------------
+    # Construction and serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        result: "ExperimentResult",
+        label: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> "ResultRow":
+        """Flatten a heavyweight :class:`ExperimentResult` into a row."""
+        config = result.config
+        background = result.background_summary
+        return cls(
+            label=label if label is not None else config.name,
+            name=config.name,
+            fingerprint=fingerprint if fingerprint is not None else config.fingerprint(),
+            transport=config.transport.value,
+            congestion_control=config.congestion_control.value,
+            topology=config.topology.value,
+            pfc_enabled=config.pfc_enabled,
+            seed=config.seed,
+            avg_slowdown=result.summary.avg_slowdown,
+            avg_fct_s=result.summary.avg_fct,
+            tail_fct_s=result.summary.tail_fct,
+            num_flows=result.summary.num_flows,
+            flows_total=len(result.flows),
+            flows_completed=sum(1 for flow in result.flows if flow.completed),
+            sim_time_s=result.sim_time_s,
+            events_processed=result.events_processed,
+            packets_dropped=result.packets_dropped,
+            pause_frames=result.pause_frames,
+            packets_forwarded=result.packets_forwarded,
+            data_packets_sent=result.data_packets_sent,
+            retransmissions=result.retransmissions,
+            timeouts=result.timeouts,
+            incast_rct_s=result.incast_rct_s,
+            background_avg_slowdown=background.avg_slowdown if background else None,
+            background_avg_fct_s=background.avg_fct if background else None,
+            background_tail_fct_s=background.tail_fct if background else None,
+            background_num_flows=background.num_flows if background else None,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ResultRow":
+        """Rebuild a row from :meth:`to_dict` output (extra keys rejected)."""
+        return cls(**data)

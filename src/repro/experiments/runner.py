@@ -29,6 +29,7 @@ from repro.experiments.config import (
     TopologyKind,
     WorkloadKind,
 )
+from repro.experiments.results import ResultRow
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.stats import MetricSummary
 from repro.sim.engine import Simulator
@@ -49,6 +50,8 @@ class ExperimentResult:
     flows: List[Flow]
     #: Simulated time at which the run ended.
     sim_time_s: float
+    #: Events executed by the simulator (throughput accounting).
+    events_processed: int
     #: Fabric statistics.
     packets_dropped: int
     pause_frames: int
@@ -75,6 +78,10 @@ class ExperimentResult:
         if not self.flows:
             return 0.0
         return sum(1 for flow in self.flows if flow.completed) / len(self.flows)
+
+    def to_row(self, label: Optional[str] = None) -> "ResultRow":
+        """Flatten to a picklable :class:`ResultRow` (drops collector/flows)."""
+        return ResultRow.from_result(self, label=label)
 
 
 class _FlowLauncher:
@@ -268,6 +275,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         collector=collector,
         flows=flows,
         sim_time_s=sim.now,
+        events_processed=sim.events_processed,
         packets_dropped=network.total_dropped_packets(),
         pause_frames=network.total_pause_frames(),
         packets_forwarded=network.total_forwarded_packets(),

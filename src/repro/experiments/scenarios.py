@@ -2,14 +2,14 @@
 
 Each ``figN_configs`` / ``tableN_configs`` function returns an ordered
 mapping from a human-readable label (matching the paper's legend) to an
-:class:`ExperimentConfig`.  Benchmarks run the configs and print the
-regenerated rows; EXPERIMENTS.md records how the measured shapes compare to
-the paper.
+:class:`ExperimentConfig`.  The label-to-config mappings feed directly into
+:func:`repro.experiments.sweep.run_sweep`, which the benchmarks use to run
+and print the regenerated rows.
 
 The *scaled default scenario* mirrors the paper's default (three-tier
 fat-tree, heavy-tailed workload at 70% load, buffers of twice the BDP, ECMP)
 but shrinks the fabric and flow sizes so a pure-Python packet simulation
-finishes in seconds; see DESIGN.md for the substitution rationale.
+finishes in seconds; see README.md for the substitution rationale.
 """
 
 from __future__ import annotations

@@ -1,0 +1,411 @@
+"""Parallel experiment sweeps with on-disk result caching.
+
+Reproducing one figure of the paper means running many independent
+simulations (transports x congestion-control schemes x seeds).  This module
+turns that embarrassingly parallel work into one call:
+
+1. :class:`ParameterGrid` expands a base :class:`ExperimentConfig` and a
+   mapping of ``field -> values`` into labelled configs (the *cells*);
+2. :func:`run_sweep` fans the cells out over worker processes (a
+   deterministic serial path runs the same code in-process when
+   ``workers <= 1`` or process pools are unavailable);
+3. completed cells are flattened to picklable :class:`ResultRow` records and,
+   when a :class:`ResultCache` is given, stored on disk keyed by
+   ``ExperimentConfig.fingerprint()`` so repeated invocations only run the
+   cells that changed;
+4. :func:`aggregate_rows` folds seed replicas into per-cell mean/p99 rows the
+   benchmark suite can assert against.
+
+Worked example::
+
+    from repro.experiments import ExperimentConfig, TransportKind
+    from repro.experiments.sweep import ParameterGrid, ResultCache, run_sweep
+
+    grid = ParameterGrid(
+        ExperimentConfig(num_flows=100),
+        axes={
+            "transport": [TransportKind.IRN, TransportKind.ROCE],
+            "pfc_enabled": [False, True],
+            "seed": [1, 2, 3],
+        },
+    )
+    sweep = run_sweep(grid, cache=ResultCache(".sweep-cache"))
+    table = sweep.aggregate(by=("transport", "pfc_enabled"))
+
+The cache is keyed by the *configuration* only; delete the cache directory
+(or call :meth:`ResultCache.clear`) after changing simulator code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import warnings
+from collections import Counter
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from enum import Enum
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ResultRow
+from repro.metrics.stats import mean, percentile
+
+#: Bumped whenever the ``ResultRow`` schema or run semantics change in a way
+#: that invalidates previously cached rows.
+CACHE_SCHEMA_VERSION = 1
+
+#: Upper bound on auto-selected worker processes (per-cell runs are seconds
+#: long, so more workers than this mostly adds fork/teardown overhead).
+_MAX_AUTO_WORKERS = 8
+
+
+def _format_axis_value(value: Any) -> str:
+    if isinstance(value, Enum):
+        return str(value.value)
+    return str(value)
+
+
+class ParameterGrid:
+    """The cross product of per-field value lists over a base config.
+
+    Parameters
+    ----------
+    base:
+        Config supplying every field not named in ``axes``.
+    axes:
+        Mapping of :class:`ExperimentConfig` field name to the sequence of
+        values that axis takes.  Axis order is preserved: the last axis
+        varies fastest, like :func:`itertools.product`.
+    """
+
+    def __init__(self, base: ExperimentConfig, axes: Mapping[str, Sequence[Any]]) -> None:
+        valid = {f.name for f in fields(ExperimentConfig)}
+        unknown = [name for name in axes if name not in valid]
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig field(s) in grid axes: {sorted(unknown)}"
+            )
+        empty = [name for name, values in axes.items() if not values]
+        if empty:
+            raise ValueError(f"grid axes with no values: {sorted(empty)}")
+        self.base = base
+        self.axes: Dict[str, List[Any]] = {name: list(values) for name, values in axes.items()}
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def label_for(self, overrides: Mapping[str, Any]) -> str:
+        """The human-readable cell label, e.g. ``"transport=irn, seed=1"``."""
+        return ", ".join(
+            f"{name}={_format_axis_value(overrides[name])}" for name in self.axes
+        )
+
+    def expand(self) -> Dict[str, ExperimentConfig]:
+        """Labelled configs for every cell, in deterministic grid order.
+
+        Raises :class:`ValueError` when two cells produce the same label
+        (e.g. a duplicated axis value), which would otherwise silently
+        collapse replicas.
+        """
+        cells: Dict[str, ExperimentConfig] = {}
+        names = list(self.axes)
+        for combo in itertools.product(*self.axes.values()):
+            overrides = dict(zip(names, combo))
+            label = self.label_for(overrides)
+            if label in cells:
+                raise ValueError(
+                    f"grid cells collide on label {label!r}; remove duplicate axis values"
+                )
+            if "name" not in overrides:
+                overrides["name"] = label
+            cells[label] = self.base.with_overrides(**overrides)
+        return cells
+
+
+class ResultCache:
+    """On-disk store of :class:`ResultRow` records keyed by config fingerprint.
+
+    Each row lives in its own JSON file, so concurrent sweeps sharing a cache
+    directory never corrupt each other: writes go through a temp file and an
+    atomic rename.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional[ResultRow]:
+        """The cached row for ``config``, or ``None`` (corrupt files = miss)."""
+        path = self.path_for(config.fingerprint())
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return ResultRow.from_dict(payload["row"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, row: ResultRow) -> None:
+        """Store ``row`` under its fingerprint (atomic rename)."""
+        path = self.path_for(row.fingerprint)
+        payload = {"schema": CACHE_SCHEMA_VERSION, "row": row.to_dict()}
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached row; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _run_cell(item: Tuple[str, ExperimentConfig]) -> ResultRow:
+    """Worker entry point: run one cell, return only the flat row.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method; the heavyweight ``ExperimentResult`` never leaves the
+    worker process.
+    """
+    # Imported here so workers under "spawn" pay the import cost once, and so
+    # this module does not import the runner (and the whole sim stack) just
+    # to expand grids or read caches.
+    from repro.experiments.runner import run_experiment
+
+    label, config = item
+    result = run_experiment(config)
+    return ResultRow.from_result(result, label=label)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call.
+
+    ``rows`` preserves the input cell order regardless of which worker
+    finished first, so iteration order is deterministic.
+    """
+
+    rows: Dict[str, ResultRow]
+    cache_hits: int
+    cache_misses: int
+    #: Worker processes used (1 == the serial fallback).
+    workers_used: int
+
+    @property
+    def runs_executed(self) -> int:
+        """Simulations executed by this invocation (0 == fully cached)."""
+        return self.cache_misses
+
+    def __getitem__(self, label: str) -> ResultRow:
+        return self.rows[label]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def labels(self) -> List[str]:
+        return list(self.rows)
+
+    def aggregate(self, by: Sequence[str]) -> List[Dict[str, Any]]:
+        return aggregate_rows(self.rows.values(), by=by)
+
+
+def _normalize_cells(
+    configs: Union[ParameterGrid, Mapping[str, ExperimentConfig], Iterable[ExperimentConfig]],
+) -> List[Tuple[str, ExperimentConfig]]:
+    if isinstance(configs, ParameterGrid):
+        return list(configs.expand().items())
+    if isinstance(configs, Mapping):
+        return list(configs.items())
+    cells: List[Tuple[str, ExperimentConfig]] = []
+    seen: Dict[str, int] = {}
+    for config in configs:
+        label = config.name
+        if label in seen:  # keep labels unique when presets share a name
+            seen[label] += 1
+            label = f"{label} #{seen[label]}"
+        else:
+            seen[label] = 1
+        cells.append((label, config))
+    return cells
+
+
+def _pick_workers(workers: Optional[int], num_pending: int) -> int:
+    if workers is None:
+        workers = min(os.cpu_count() or 1, _MAX_AUTO_WORKERS)
+    return max(1, min(workers, num_pending))
+
+
+def run_sweep(
+    configs: Union[ParameterGrid, Mapping[str, ExperimentConfig], Iterable[ExperimentConfig]],
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[Union[ResultCache, str, Path]] = None,
+) -> SweepResult:
+    """Run every cell of a sweep, in parallel, reusing cached rows.
+
+    Parameters
+    ----------
+    configs:
+        A :class:`ParameterGrid`, a mapping of label to config (the shape the
+        ``scenarios`` presets produce), or a plain iterable of configs
+        (labelled by their ``name``).
+    workers:
+        Worker process count.  ``None`` picks the CPU count (bounded by
+        ``_MAX_AUTO_WORKERS``) capped at the number of uncached cells;
+        ``<= 1`` selects the deterministic serial path.  Parallel and serial
+        execution produce bit-identical rows (each cell is an independent,
+        seeded simulation).
+    cache:
+        A :class:`ResultCache` (or a directory path for one).  Cells whose
+        config fingerprint is present are served from disk without running;
+        freshly computed rows are written back.  ``None`` disables caching.
+    """
+    cells = _normalize_cells(configs)
+    label_counts = Counter(label for label, _ in cells)
+    duplicates = [label for label, count in label_counts.items() if count > 1]
+    if duplicates:
+        raise ValueError(f"duplicate sweep labels: {sorted(duplicates)}")
+
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    rows: Dict[str, Optional[ResultRow]] = {label: None for label, _ in cells}
+    pending: List[Tuple[str, ExperimentConfig]] = []
+    cache_hits = 0
+    for label, config in cells:
+        cached = cache.get(config) if cache is not None else None
+        if cached is not None:
+            # Re-label: the cache stores the row under the label of whichever
+            # sweep first computed it.
+            rows[label] = ResultRow.from_dict({**cached.to_dict(), "label": label})
+            cache_hits += 1
+        else:
+            pending.append((label, config))
+
+    workers_used = _pick_workers(workers, len(pending))
+
+    def _store(row: ResultRow) -> None:
+        # Called as each cell completes, so one failing (or interrupted) cell
+        # never discards finished sibling work: everything stored so far is
+        # already on disk and a retry resumes from there.
+        rows[row.label] = row
+        if cache is not None:
+            cache.put(row)
+
+    def _fall_back_to_serial(exc: BaseException) -> None:
+        # Fork/spawn denied (sandboxes) or workers died.  Any real per-cell
+        # error will resurface from the serial run.
+        nonlocal workers_used
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); falling back to serial sweep",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        workers_used = 1
+
+    if pending and workers_used > 1:
+        # The try blocks cover only pool machinery: _store runs outside them
+        # so a cache-write failure propagates as itself instead of being
+        # misread as a broken pool.
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers_used)
+        except OSError as exc:
+            _fall_back_to_serial(exc)
+        else:
+            with pool:
+                # pool.map yields in submission order; consume lazily so
+                # every completed cell is stored (and cached) even if a
+                # later one fails.
+                completed = pool.map(_run_cell, pending, chunksize=1)
+                while True:
+                    try:
+                        row = next(completed)
+                    except StopIteration:
+                        break
+                    except (OSError, BrokenExecutor) as exc:
+                        _fall_back_to_serial(exc)
+                        break
+                    _store(row)
+    if pending and workers_used <= 1:
+        for item in pending:
+            if rows[item[0]] is None:
+                _store(_run_cell(item))
+
+    return SweepResult(
+        rows={label: row for label, row in rows.items() if row is not None},
+        cache_hits=cache_hits,
+        cache_misses=len(pending),
+        workers_used=workers_used,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+#: Metrics averaged (and tail-summarized) across seed replicas per cell.
+_MEAN_P99_METRICS = ("avg_slowdown", "avg_fct_s", "tail_fct_s")
+#: Counters summed across seed replicas per cell.
+_SUMMED_COUNTERS = ("packets_dropped", "pause_frames", "retransmissions", "timeouts")
+
+
+def aggregate_rows(
+    rows: Iterable[ResultRow],
+    by: Sequence[str] = ("transport", "congestion_control", "pfc_enabled"),
+) -> List[Dict[str, Any]]:
+    """Fold seed replicas into one tidy record per parameter cell.
+
+    Rows sharing the ``by`` fields form one cell.  Each output record holds
+    the ``by`` columns, the replica count and seed list, ``<metric>_mean`` /
+    ``<metric>_p99`` for the three headline metrics, ``drop_rate_mean`` and
+    summed fabric counters -- plain scalars throughout, so records compare
+    directly in tests.
+    """
+    by = tuple(by)
+    invalid = [name for name in by if name not in ResultRow.__dataclass_fields__]
+    if invalid:
+        raise ValueError(f"unknown ResultRow field(s) in 'by': {sorted(invalid)}")
+
+    groups: Dict[Tuple[Any, ...], List[ResultRow]] = {}
+    for row in rows:
+        key = tuple(getattr(row, name) for name in by)
+        groups.setdefault(key, []).append(row)
+
+    table: List[Dict[str, Any]] = []
+    for key, members in groups.items():
+        record: Dict[str, Any] = dict(zip(by, key))
+        record["replicas"] = len(members)
+        record["seeds"] = sorted(row.seed for row in members)
+        for metric in _MEAN_P99_METRICS:
+            values = [getattr(row, metric) for row in members]
+            record[f"{metric}_mean"] = mean(values)
+            record[f"{metric}_p99"] = percentile(values, 0.99)
+        record["drop_rate_mean"] = mean([row.drop_rate for row in members])
+        for counter in _SUMMED_COUNTERS:
+            record[f"{counter}_total"] = sum(getattr(row, counter) for row in members)
+        table.append(record)
+    return table

@@ -5,6 +5,12 @@ heap.  All other simulator components (links, switches, hosts, transports)
 schedule callbacks on a shared :class:`Simulator` instance.  Time is kept in
 seconds as a float; event ordering between equal timestamps is FIFO by
 insertion order so runs are fully deterministic for a given seed.
+
+Cancelled events are *tombstones*: they stay in the heap and are discarded
+when they reach the head.  Because the transports set and almost always
+cancel one retransmission timer per data packet, tombstones can outnumber
+live events; the simulator therefore compacts the heap in place whenever the
+dead fraction grows past one half (amortized O(1) per event).
 """
 
 from __future__ import annotations
@@ -12,24 +18,38 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+#: Heaps smaller than this are never compacted -- scanning them costs more
+#: than letting the pop loop discard the tombstones.
+_COMPACT_MIN_SIZE = 2048
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` so that simultaneous events fire in the
     order they were scheduled.  Cancelled events stay in the heap but are
-    skipped when popped.
+    discarded, without running, when they reach the head.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: tuple = ()) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it reaches the head."""
@@ -53,7 +73,9 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._events_cancelled = 0
         self._stopped = False
+        self._compact_watermark = _COMPACT_MIN_SIZE
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,14 +92,34 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
             )
-        event = Event(time=time, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, event)
+        event = Event(time, next(self._seq), fn, args)
+        heap = self._heap
+        heapq.heappush(heap, event)
+        if len(heap) >= self._compact_watermark:
+            self._compact()
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event (no-op for ``None``)."""
         if event is not None:
-            event.cancel()
+            event.cancelled = True
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones if they dominate the heap.
+
+        Called whenever the heap grows past a watermark.  The watermark
+        doubles with the surviving heap so the O(n) scan is amortized O(1)
+        per scheduled event.
+        """
+        heap = self._heap
+        live = [event for event in heap if not event.cancelled]
+        if 2 * len(live) <= len(heap):
+            self._events_cancelled += len(heap) - len(live)
+            # Replace contents in place: ``run`` holds a reference to the
+            # list, so the object identity must be preserved.
+            heap[:] = live
+            heapq.heapify(heap)
+        self._compact_watermark = max(_COMPACT_MIN_SIZE, 2 * len(heap))
 
     # ------------------------------------------------------------------
     # Execution
@@ -86,6 +128,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events that have been executed so far."""
         return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events discarded (popped or compacted away)."""
+        return self._events_cancelled
 
     @property
     def pending_events(self) -> int:
@@ -106,28 +153,56 @@ class Simulator:
         Parameters
         ----------
         until:
-            Stop once the next event would be later than this time.  The clock
-            is advanced to ``until`` when the queue empties earlier.
+            Stop once the next *live* event would be later than this time; the
+            head event stays queued, so a later ``run`` call resumes exactly
+            where this one stopped.  On return the clock is advanced to
+            ``until`` whenever the simulation did not already reach it *and*
+            no live event at or before ``until`` remains queued (i.e. the
+            queue emptied or only later events remain); :meth:`stop` always
+            suppresses the advance, and the ``max_events`` valve does so only
+            when it left live events at or before ``until`` unexecuted.
         max_events:
-            Safety valve for tests: stop after executing this many events.
+            Safety valve: stop once this many events have been *executed*.
+            Cancelled events discarded from the heap never run and do not
+            count against the valve; they are tallied separately in
+            :attr:`events_cancelled`.  (Termination is still guaranteed:
+            tombstones cannot schedule new events, so discarding them only
+            shrinks the heap.)
         """
         self._stopped = False
+        # Hot path: bind everything the loop touches to locals.  This loop
+        # runs hundreds of thousands of times per simulated second, so each
+        # avoided attribute/global lookup is measurable (see
+        # benchmarks/perf_engine.py).
+        heap = self._heap
+        heappop = heapq.heappop
         executed = 0
-        while self._heap and not self._stopped:
-            event = self._heap[0]
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            event.fn(*event.args)
-            self._events_processed += 1
-            executed += 1
-            if max_events is not None and executed >= max_events:
-                break
+        cancelled = 0
+        try:
+            while heap and not self._stopped:
+                event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    cancelled += 1
+                    continue
+                time = event.time
+                if until is not None and time > until:
+                    break
+                heappop(heap)
+                self.now = time
+                event.fn(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._events_processed += executed
+            self._events_cancelled += cancelled
         if until is not None and not self._stopped and self.now < until:
-            if not self._heap or self._heap[0].time > until:
+            # Discard tombstones so the advance decision sees the live head.
+            while heap and heap[0].cancelled:
+                heappop(heap)
+                self._events_cancelled += 1
+            if not heap or heap[0].time > until:
                 self.now = until
 
     def run_until_idle(self, max_events: Optional[int] = None) -> None:

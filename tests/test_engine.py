@@ -145,3 +145,96 @@ class TestRunControl:
         values_c = Simulator(seed=6).rng.random()
         assert values_a == values_b
         assert values_a != values_c
+
+
+class TestCancelledEventAccounting:
+    def test_cancelled_pops_counted_separately(self):
+        sim = Simulator()
+        ran = []
+        keep = sim.schedule(1e-6, ran.append, "a")
+        for _ in range(5):
+            sim.cancel(sim.schedule(2e-6, ran.append, "x"))
+        del keep
+        sim.run_until_idle()
+        assert ran == ["a"]
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 5
+
+    def test_max_events_counts_only_executed_events(self):
+        sim = Simulator()
+        ran = []
+        # Interleave tombstones before each live event; max_events must budget
+        # the *executed* events, not the discarded tombstones.
+        for i in range(6):
+            sim.cancel(sim.schedule(i * 1e-6, ran.append, "dead"))
+            sim.schedule(i * 1e-6, ran.append, i)
+        sim.run(max_events=3)
+        assert ran == [0, 1, 2]
+        assert sim.events_processed == 3
+        assert sim.events_cancelled >= 3
+
+    def test_tombstone_only_heap_drains_without_consuming_the_valve(self):
+        sim = Simulator()
+        for i in range(10_000):
+            sim.cancel(sim.schedule(i * 1e-9, lambda: None))
+        sim.run(max_events=10)
+        # Tombstones never execute: the valve is untouched, the heap drains,
+        # and every discard is accounted for.
+        assert sim.events_processed == 0
+        assert sim.events_cancelled + sim.pending_events == 10_000
+        assert sim.pending_events == 0
+
+    def test_clock_advance_sees_through_tombstone_head(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, ran.append, "a")
+        sim.cancel(sim.schedule(2.0, ran.append, "dead"))
+        sim.schedule(20.0, ran.append, "b")
+        # Valve trips with a tombstone at the heap head; no *live* event at
+        # or before `until` remains, so the clock must still advance.
+        sim.run(until=10.0, max_events=1)
+        assert ran == ["a"]
+        assert sim.now == pytest.approx(10.0)
+
+    def test_max_events_not_consumed_by_heavy_tombstone_interleaving(self):
+        sim = Simulator()
+        ran = []
+        # 3 tombstones per live event: the valve must still admit exactly
+        # max_events *executed* events, not stop early on discards.
+        for i in range(8):
+            for _ in range(3):
+                sim.cancel(sim.schedule(i * 1e-6, ran.append, "dead"))
+            sim.schedule(i * 1e-6, ran.append, i)
+        sim.run(max_events=6)
+        assert ran == [0, 1, 2, 3, 4, 5]
+        assert sim.events_processed == 6
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        from repro.sim.engine import _COMPACT_MIN_SIZE
+
+        sim = Simulator()
+        total = 4 * _COMPACT_MIN_SIZE
+        # Set-then-cancel churn (the transports' RTO pattern): the heap must
+        # stay bounded by the compaction watermark instead of growing with
+        # every tombstone ever scheduled.
+        for i in range(total):
+            sim.cancel(sim.schedule(1e-3 + i * 1e-9, lambda: None))
+        assert sim.pending_events <= _COMPACT_MIN_SIZE
+        # Every tombstone is either compacted away (counted) or still queued.
+        assert sim.events_cancelled + sim.pending_events == total
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        ran = []
+        live = []
+        for i in range(5000):
+            event = sim.schedule(i * 1e-9, ran.append, i)
+            if i % 7:
+                sim.cancel(event)
+            else:
+                live.append(i)
+        sim.run_until_idle()
+        assert ran == live
+        assert sim.events_processed == len(live)

@@ -1,0 +1,263 @@
+"""Tests for the parallel sweep subsystem (grid, cache, runner, aggregation)."""
+
+import pickle
+
+import pytest
+
+from repro.core.factory import TransportKind
+from repro.experiments.config import (
+    CongestionControl,
+    ExperimentConfig,
+    TopologyKind,
+    WorkloadKind,
+)
+from repro.experiments.results import ResultRow
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import (
+    ParameterGrid,
+    ResultCache,
+    aggregate_rows,
+    run_sweep,
+)
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    """A star-topology config that simulates in a few milliseconds."""
+    base = ExperimentConfig(
+        name="tiny",
+        topology=TopologyKind.STAR,
+        num_hosts=4,
+        workload=WorkloadKind.FIXED,
+        fixed_size_bytes=20_000,
+        num_flows=6,
+        max_sim_time_s=1.0,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def tiny_grid() -> ParameterGrid:
+    """A 12-cell grid: 2 transports x 2 PFC settings x 3 seeds."""
+    return ParameterGrid(
+        tiny_config(),
+        axes={
+            "transport": [TransportKind.IRN, TransportKind.ROCE],
+            "pfc_enabled": [False, True],
+            "seed": [1, 2, 3],
+        },
+    )
+
+
+class TestParameterGrid:
+    def test_expansion_size_and_order(self):
+        grid = tiny_grid()
+        cells = grid.expand()
+        assert len(grid) == 12
+        assert len(cells) == 12
+        # Last axis (seed) varies fastest, itertools.product-style.
+        first_labels = list(cells)[:3]
+        assert first_labels == [
+            "transport=irn, pfc_enabled=False, seed=1",
+            "transport=irn, pfc_enabled=False, seed=2",
+            "transport=irn, pfc_enabled=False, seed=3",
+        ]
+
+    def test_overrides_applied_and_name_set(self):
+        cells = tiny_grid().expand()
+        config = cells["transport=roce, pfc_enabled=True, seed=2"]
+        assert config.transport is TransportKind.ROCE
+        assert config.pfc_enabled is True
+        assert config.seed == 2
+        assert config.name == "transport=roce, pfc_enabled=True, seed=2"
+        # Non-axis fields come from the base config.
+        assert config.num_flows == 6
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExperimentConfig field"):
+            ParameterGrid(tiny_config(), axes={"not_a_field": [1]})
+
+    def test_duplicate_axis_values_rejected(self):
+        # A duplicated seed would silently collapse replicas if allowed.
+        grid = ParameterGrid(tiny_config(), axes={"seed": [1, 1]})
+        with pytest.raises(ValueError, match="collide on label"):
+            grid.expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ParameterGrid(tiny_config(), axes={"seed": []})
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert tiny_config().fingerprint() == tiny_config().fingerprint()
+
+    def test_cosmetic_name_does_not_change_the_key(self):
+        # Identical simulations under different preset labels must share one
+        # cache entry.
+        assert tiny_config(name="a").fingerprint() == tiny_config(name="b").fingerprint()
+
+    def test_sensitive_to_any_field(self):
+        base = tiny_config().fingerprint()
+        assert tiny_config(seed=2).fingerprint() != base
+        assert tiny_config(target_load=0.6).fingerprint() != base
+        assert tiny_config(congestion_control=CongestionControl.TIMELY).fingerprint() != base
+
+    def test_canonical_dict_is_json_safe(self):
+        import json
+
+        payload = tiny_config().to_canonical_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestResultRow:
+    def test_pickle_roundtrip(self):
+        row = run_experiment(tiny_config()).to_row(label="tiny run")
+        clone = pickle.loads(pickle.dumps(row))
+        assert clone == row
+        assert clone.label == "tiny run"
+
+    def test_config_pickle_roundtrip(self):
+        config = tiny_config(congestion_control=CongestionControl.DCQCN)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_dict_roundtrip(self):
+        row = run_experiment(tiny_config()).to_row()
+        assert ResultRow.from_dict(row.to_dict()) == row
+
+    def test_matches_heavyweight_result(self):
+        result = run_experiment(tiny_config())
+        row = result.to_row()
+        assert row.summary == result.summary
+        assert row.drop_rate == result.drop_rate
+        assert row.completion_fraction() == pytest.approx(result.completion_fraction())
+        assert row.retransmissions == result.retransmissions
+        assert row.events_processed == result.events_processed > 0
+
+
+class TestRunSweep:
+    def test_parallel_matches_serial_for_fixed_seeds(self):
+        grid = tiny_grid()
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=4)
+        assert serial.workers_used == 1
+        assert len(parallel) == 12
+        # Independent seeded simulations: bit-identical rows either way.
+        assert parallel.rows == serial.rows
+        assert parallel.labels() == serial.labels()
+
+    def test_accepts_label_mapping(self):
+        configs = {"a": tiny_config(seed=1), "b": tiny_config(seed=2)}
+        sweep = run_sweep(configs, workers=1)
+        assert sweep.labels() == ["a", "b"]
+        assert sweep["a"].seed == 1
+
+    def test_accepts_plain_iterable_and_dedups_names(self):
+        # Iterables are labelled by config name; shared names get suffixes
+        # instead of silently overwriting each other.
+        sweep = run_sweep([tiny_config(seed=1), tiny_config(seed=2)], workers=1)
+        assert sweep.labels() == ["tiny", "tiny #2"]
+        assert sweep["tiny"].seed == 1
+        assert sweep["tiny #2"].seed == 2
+
+    def test_duplicate_labels_rejected(self):
+        class MultiMapping(dict):
+            """A Mapping whose items() yields a colliding label twice."""
+
+            def items(self):
+                return [("x", tiny_config(seed=1)), ("x", tiny_config(seed=2))]
+
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(MultiMapping(), workers=1)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        assert cache.get(config) is None
+        first = run_sweep({"cell": config}, workers=1, cache=cache)
+        assert (first.cache_hits, first.runs_executed) == (0, 1)
+        assert cache.get(config) == first["cell"]
+
+    def test_repeat_sweep_runs_zero_simulations(self, tmp_path, monkeypatch):
+        grid = tiny_grid()
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(grid, workers=2, cache=cache)
+        assert first.runs_executed == 12
+        assert len(cache) == 12
+
+        # Any attempt to simulate again must be loud: the repeated sweep has
+        # to be served entirely from the on-disk cache.
+        def boom(config):
+            raise AssertionError(f"run_experiment called for {config.name}")
+
+        monkeypatch.setattr("repro.experiments.runner.run_experiment", boom)
+        again = run_sweep(grid, workers=1, cache=cache)
+        assert again.runs_executed == 0
+        assert again.cache_hits == 12
+        assert again.rows == first.rows
+
+    def test_changed_cell_reruns_only_that_cell(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        configs = {"a": tiny_config(seed=1), "b": tiny_config(seed=2)}
+        run_sweep(configs, workers=1, cache=cache)
+        configs["b"] = tiny_config(seed=99)
+        second = run_sweep(configs, workers=1, cache=cache)
+        assert second.cache_hits == 1
+        assert second.runs_executed == 1
+        assert second["b"].seed == 99
+
+    def test_failing_cell_keeps_completed_siblings_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        configs = {
+            "good": tiny_config(seed=1),
+            # No workload and no incast: _generate_flows raises ValueError.
+            "bad": tiny_config(workload=WorkloadKind.NONE, num_flows=0),
+        }
+        with pytest.raises(ValueError, match="no flows"):
+            run_sweep(configs, workers=1, cache=cache)
+        # The completed sibling survived the failure...
+        assert cache.get(configs["good"]) is not None
+        # ...so the retry (with the bad cell fixed) only runs the fixed cell.
+        configs["bad"] = tiny_config(seed=7)
+        retry = run_sweep(configs, workers=1, cache=cache)
+        assert retry.cache_hits == 1
+        assert retry.runs_executed == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        run_sweep({"cell": config}, workers=1, cache=cache)
+        cache.path_for(config.fingerprint()).write_text("{not json")
+        assert cache.get(config) is None
+        redo = run_sweep({"cell": config}, workers=1, cache=cache)
+        assert redo.runs_executed == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep({"cell": tiny_config()}, workers=1, cache=cache)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestAggregation:
+    def test_mean_and_p99_across_seeds(self):
+        rows = run_sweep(tiny_grid(), workers=2).rows.values()
+        table = aggregate_rows(rows, by=("transport", "pfc_enabled"))
+        assert len(table) == 4
+        cell = next(
+            record for record in table
+            if record["transport"] == "irn" and record["pfc_enabled"] is False
+        )
+        assert cell["replicas"] == 3
+        assert cell["seeds"] == [1, 2, 3]
+        members = [row for row in rows if row.transport == "irn" and not row.pfc_enabled]
+        expected_mean = sum(row.avg_slowdown for row in members) / 3
+        assert cell["avg_slowdown_mean"] == pytest.approx(expected_mean)
+        # p99 of three replicas interpolates near the maximum.
+        assert cell["avg_slowdown_p99"] <= max(row.avg_slowdown for row in members)
+        assert cell["avg_slowdown_p99"] >= expected_mean
+        assert cell["retransmissions_total"] == sum(row.retransmissions for row in members)
+
+    def test_unknown_group_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ResultRow field"):
+            aggregate_rows([], by=("nope",))
