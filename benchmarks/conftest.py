@@ -3,28 +3,37 @@
 Every benchmark regenerates one table or figure of the paper on a scaled-down
 fabric (see README.md for the benchmark-to-figure map and the scaling
 rationale) and prints the rows in the same shape the paper reports, so
-paper-vs-measured comparisons can be read side by side.  ``pytest-benchmark`` measures the wall-clock cost of each
-scenario; simulations run exactly once (rounds=1) because a single run is
-already seconds long and deterministic for its seed.
+paper-vs-measured comparisons can be read side by side.  ``pytest-benchmark``
+measures the wall-clock cost of each scenario; simulations run exactly once
+(rounds=1) because a single run is already seconds long and deterministic for
+its seed.
 
 Scenarios execute through :func:`repro.experiments.sweep.run_sweep`, which
 fans the independent cells of a figure out across worker processes and hands
-back flat :class:`ResultRow` records.  Set ``REPRO_BENCH_WORKERS=1`` to force
-the serial path (results are bit-identical either way).  Benchmarks never
-pass a cache: the wall-clock measurement must time real simulator runs.
+back flat :class:`ResultRow` records -- including the quantile digests that
+distributional benchmarks (Figure 8's tail CDF) assert against, so no
+benchmark needs the heavyweight in-process path anymore.  Set
+``REPRO_BENCH_WORKERS=1`` to force the serial path (results are bit-identical
+either way).  Benchmarks pass no cache by default -- the wall-clock
+measurement must time real simulator runs -- but ``REPRO_BENCH_CACHE=<dir>``
+opts into the code-aware disk cache for iterative local analysis.
+
+Table and CDF rendering lives in :mod:`repro.metrics.report`; the wrappers
+here only add ``print`` so ``pytest -s`` shows the tables.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
-from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.experiments.sweep import run_sweep
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweep import aggregate_rows, run_sweep
+from repro.metrics.report import format_metric_table, format_ratio_table
 
 #: The printing/assertion helpers only touch the surface the two result
 #: types share (summary, drop_rate, fabric counters, completion_fraction).
@@ -35,11 +44,17 @@ AnyResult = Union[ResultRow, ExperimentResult]
 BENCH_FLOWS = 120
 #: Seed shared by all benchmark scenarios.
 BENCH_SEED = 1
+#: Seed axis used by the multi-replica benchmarks (fig1/fig2/fig10).
+BENCH_SEEDS = (1, 2, 3)
 
 
 def _bench_workers() -> Optional[int]:
     value = os.environ.get("REPRO_BENCH_WORKERS")
     return int(value) if value else None
+
+
+def _bench_cache() -> Optional[str]:
+    return os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 def run_scenarios(
@@ -49,37 +64,42 @@ def run_scenarios(
     """Sweep every config once inside the benchmark timer; flat rows out."""
 
     def _run_all() -> Dict[str, ResultRow]:
-        return dict(run_sweep(configs, workers=_bench_workers()).rows)
+        return dict(run_sweep(configs, workers=_bench_workers(), cache=_bench_cache()).rows)
 
     return benchmark.pedantic(_run_all, rounds=1, iterations=1)
 
 
-def run_scenarios_full(
-    benchmark,
+def seed_replicas(
     configs: Dict[str, ExperimentConfig],
-) -> Dict[str, ExperimentResult]:
-    """Serial in-process variant keeping the heavyweight results.
+    seeds: Sequence[int] = BENCH_SEEDS,
+) -> Dict[str, ExperimentConfig]:
+    """Expand scenario configs over a seed axis (labels stay unique)."""
+    return {
+        f"{label} [seed={seed}]": config.with_overrides(seed=seed)
+        for label, config in configs.items()
+        for seed in seeds
+    }
 
-    For benchmarks that need the :class:`MetricsCollector` afterwards (e.g.
-    Figure 8's per-flow latency CDF), which a :class:`ResultRow` drops.
+
+def aggregate_by_scheme(
+    base_configs: Dict[str, ExperimentConfig],
+    rows: Mapping[str, ResultRow],
+) -> Dict[str, Dict]:
+    """Fold seed replicas back into one aggregate record per scenario label.
+
+    Replicas share their scenario's config ``name`` (the seed override does
+    not change it), so grouping on ``name`` and mapping back through
+    ``base_configs`` yields paper-style means with replica counts under the
+    original human-readable labels.
     """
-
-    def _run_all() -> Dict[str, ExperimentResult]:
-        return {label: run_experiment(config) for label, config in configs.items()}
-
-    return benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    by_name = {record["name"]: record for record in aggregate_rows(rows.values(), by=("name",))}
+    return {label: by_name[config.name] for label, config in base_configs.items()}
 
 
 def print_metric_table(title: str, results: Dict[str, AnyResult]) -> None:
     """Print the paper's three metrics for each scheme."""
-    print(f"\n=== {title} ===")
-    print(f"{'scheme':<34} {'avg slowdown':>13} {'avg FCT (ms)':>13} {'99% FCT (ms)':>13} "
-          f"{'drop %':>7} {'pauses':>7} {'rtx':>7}")
-    for label, result in results.items():
-        summary = result.summary
-        print(f"{label:<34} {summary.avg_slowdown:>13.2f} {summary.avg_fct * 1e3:>13.4f} "
-              f"{summary.tail_fct * 1e3:>13.4f} {result.drop_rate * 100:>7.2f} "
-              f"{result.pause_frames:>7d} {result.retransmissions:>7d}")
+    print()
+    print(format_metric_table(title, results))
 
 
 def print_ratio_rows(
@@ -87,21 +107,8 @@ def print_ratio_rows(
     rows: Dict[str, Dict[str, AnyResult]],
 ) -> None:
     """Print appendix-style rows: IRN absolute values plus the two ratios."""
-    print(f"\n=== {title} ===")
-    print(f"{'row':<22} {'metric':<14} {'IRN':>10} {'IRN/IRN+PFC':>13} {'IRN/RoCE+PFC':>13}")
-    for row_label, schemes in rows.items():
-        irn = schemes["IRN"].summary
-        irn_pfc = schemes["IRN+PFC"].summary
-        roce_pfc = schemes["RoCE+PFC"].summary
-        metrics = [
-            ("avg slowdown", irn.avg_slowdown, irn_pfc.avg_slowdown, roce_pfc.avg_slowdown),
-            ("avg FCT", irn.avg_fct, irn_pfc.avg_fct, roce_pfc.avg_fct),
-            ("99% FCT", irn.tail_fct, irn_pfc.tail_fct, roce_pfc.tail_fct),
-        ]
-        for name, value, versus_pfc, versus_roce in metrics:
-            ratio_pfc = value / versus_pfc if versus_pfc else float("nan")
-            ratio_roce = value / versus_roce if versus_roce else float("nan")
-            print(f"{row_label:<22} {name:<14} {value:>10.4f} {ratio_pfc:>13.3f} {ratio_roce:>13.3f}")
+    print()
+    print(format_ratio_table(title, rows))
 
 
 def assert_all_completed(results: Dict[str, AnyResult]) -> None:

@@ -11,11 +11,19 @@ Reports events per second for two workloads:
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/perf_engine.py
+    PYTHONPATH=src python benchmarks/perf_engine.py [--json BENCH_xxx.json]
+
+``--json`` additionally writes the rates (plus interpreter/platform metadata)
+to a JSON file; CI uploads one per build as an artifact so the engine's
+throughput trajectory accumulates across commits.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
+import sys
 import time
 
 from repro.sim.engine import Simulator
@@ -65,11 +73,40 @@ def macro() -> float:
     return sim.events_processed / elapsed
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description="Event-engine throughput measurement")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the measured rates and run metadata to this JSON file",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per workload; the best rate is reported (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    report = {}
     for name, fn in (("churn", churn), ("macro", macro)):
-        rates = [fn() for _ in range(3)]
+        rates = [fn() for _ in range(args.repeats)]
         best = max(rates)
+        report[f"{name}_events_per_s"] = best
         print(f"{name:<6} {best:>12,.0f} events/s  (best of {len(rates)})")
+
+    if args.json:
+        report.update(
+            python=sys.version.split()[0],
+            implementation=platform.python_implementation(),
+            platform=platform.platform(),
+            machine=platform.machine(),
+            timestamp_s=time.time(),
+            repeats=args.repeats,
+        )
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -4,28 +4,38 @@ Paper result: enabling PFC *degrades* IRN by 1.5-2x (head-of-line blocking and
 congestion spreading).  At benchmark scale the congestion-spreading effect is
 attenuated, so the claim asserted here is the qualitative one: IRN does not
 need PFC -- enabling it buys at most a marginal improvement.
+
+Each scheme runs over a three-seed axis in one sweep; the assertions are on
+:func:`aggregate_rows` means with replica counts.
 """
 
 from repro.experiments import scenarios
 
 from benchmarks.conftest import (
     BENCH_FLOWS,
-    BENCH_SEED,
+    BENCH_SEEDS,
+    aggregate_by_scheme,
     assert_all_completed,
     print_metric_table,
     run_scenarios,
+    seed_replicas,
 )
 
 
 def test_fig2_enabling_pfc_with_irn(benchmark):
-    configs = scenarios.fig2_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
-    results = run_scenarios(benchmark, configs)
-    print_metric_table("Figure 2: IRN with vs without PFC", results)
+    base = scenarios.fig2_configs(num_flows=BENCH_FLOWS)
+    results = run_scenarios(benchmark, seed_replicas(base))
+    print_metric_table("Figure 2: IRN with vs without PFC, per replica", results)
     assert_all_completed(results)
 
-    without_pfc = results["IRN (without PFC)"]
-    with_pfc = results["IRN with PFC"]
-    # IRN does not require PFC: running lossy costs at most a small factor
-    # (the paper shows it actually helps by 1.5-2x at full scale).
-    assert without_pfc.summary.avg_fct <= 1.25 * with_pfc.summary.avg_fct
-    assert without_pfc.summary.avg_slowdown <= 1.25 * with_pfc.summary.avg_slowdown
+    aggregates = aggregate_by_scheme(base, results)
+    without_pfc = aggregates["IRN (without PFC)"]
+    with_pfc = aggregates["IRN with PFC"]
+    for record in (without_pfc, with_pfc):
+        assert record["replicas"] == len(BENCH_SEEDS)
+        assert record["seeds"] == sorted(BENCH_SEEDS)
+    # IRN does not require PFC: running lossy costs at most a small factor on
+    # the seed-averaged metrics (the paper shows it actually helps by 1.5-2x
+    # at full scale).
+    assert without_pfc["avg_fct_s_mean"] <= 1.25 * with_pfc["avg_fct_s_mean"]
+    assert without_pfc["avg_slowdown_mean"] <= 1.25 * with_pfc["avg_slowdown_mean"]

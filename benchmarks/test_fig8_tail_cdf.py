@@ -4,30 +4,41 @@ Paper result: IRN (without PFC) has lower tail latency for single-packet
 messages than RoCE (with PFC) across all three congestion-control settings,
 because the low RTO_low recovers lost single-packet messages quickly while
 PFC makes them wait behind paused queues.
+
+Runs through :func:`run_sweep` like every other figure (parallel-capable and
+cache-hitting): the per-flow latency distribution travels as a mergeable
+quantile digest on each :class:`ResultRow`, so the heavyweight in-process
+``MetricsCollector`` path is no longer needed.  At this scenario scale the
+digests hold well under their exact-mode ceiling, so the percentiles below
+are bit-identical to the retired serial computation; beyond that ceiling the
+sketch documents a <= 1% relative error, inside the 2% acceptance envelope.
 """
 
 from repro.experiments import scenarios
-from repro.metrics.stats import percentile
+from repro.metrics.report import format_tail_cdf
 
-from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios_full
+from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios
 
 
 def test_fig8_single_packet_tail_latency(benchmark):
-    # Runs serially via run_scenarios_full: the per-flow latency CDF below
-    # needs the MetricsCollector, which the sweep's flat rows drop.
     configs = scenarios.fig8_configs(num_flows=100, seed=BENCH_SEED)
-    results = run_scenarios_full(benchmark, configs)
+    results = run_scenarios(benchmark, configs)
     print_metric_table("Figure 8 inputs (all flows)", results)
 
     print("\n=== Figure 8: single-packet message latency tail (ms) ===")
-    print(f"{'scheme':<36} {'p90':>9} {'p99':>9} {'p99.9':>9}")
+    print(f"{'scheme':<36} {'msgs':>5} {'p90':>9} {'p99':>9} {'p99.9':>9}")
     tails = {}
-    for label, result in results.items():
-        latencies = result.collector.single_packet_latencies()
-        assert latencies, f"{label}: no single-packet messages completed"
-        row = tuple(percentile(latencies, f) * 1e3 for f in (0.90, 0.99, 0.999))
-        tails[label] = row
-        print(f"{label:<36} {row[0]:>9.4f} {row[1]:>9.4f} {row[2]:>9.4f}")
+    for label, row in results.items():
+        assert row.single_packet_count > 0, f"{label}: no single-packet messages completed"
+        # Small-sample digests stay exact, so these percentiles match the
+        # per-flow list computation exactly.
+        assert row.single_packet_distribution.is_exact
+        percentiles = tuple(
+            row.single_packet_percentile(f) * 1e3 for f in (0.90, 0.99, 0.999)
+        )
+        tails[label] = percentiles
+        print(f"{label:<36} {row.single_packet_count:>5d} "
+              f"{percentiles[0]:>9.4f} {percentiles[1]:>9.4f} {percentiles[2]:>9.4f}")
 
     for cc in ("none", "timely", "dcqcn"):
         irn = tails[f"IRN (without PFC) +{cc}"]
@@ -35,3 +46,11 @@ def test_fig8_single_packet_tail_latency(benchmark):
         # IRN's 99th-percentile single-packet latency stays competitive with
         # (paper: significantly better than) RoCE+PFC.
         assert irn[1] <= 1.5 * roce[1]
+
+    # The tail's shape, straight from the digests (Figure 8's two extremes).
+    for label in ("RoCE (with PFC) +none", "IRN (without PFC) +none"):
+        print()
+        print(format_tail_cdf(
+            results[label].single_packet_distribution,
+            title=f"{label}: single-packet latency tail",
+        ))

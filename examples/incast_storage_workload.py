@@ -17,6 +17,7 @@ Run with::
 
 from repro.experiments import scenarios
 from repro.experiments.sweep import run_sweep
+from repro.metrics.report import format_incast_table
 
 
 def main() -> None:
@@ -43,16 +44,11 @@ def main() -> None:
         print(f"  fan-in {fan_in}: IRN/RoCE RCT ratio = {ratio:.3f} "
               f"(paper: within a few percent of 1.0)")
 
-    print("\n=== Incast with cross traffic (50% background load) ===")
-    print(f"{'scheme':<36} {'incast RCT (ms)':>16} {'bg avg slowdown':>16} {'drops':>7} {'pauses':>7}")
-    for label, row in sweep.rows.items():
-        if not label.startswith("cross-traffic"):
-            continue
-        rct = row.incast_rct_s * 1e3 if row.incast_rct_s is not None else float("nan")
-        background = row.background_summary
-        bg_slowdown = background.avg_slowdown if background is not None else float("nan")
-        print(f"{label:<36} {rct:>16.3f} {bg_slowdown:>16.2f} "
-              f"{row.packets_dropped:>7d} {row.pause_frames:>7d}")
+    print()
+    print(format_incast_table(
+        "Incast with cross traffic (50% background load)",
+        {label: row for label, row in sweep.rows.items() if label.startswith("cross-traffic")},
+    ))
 
 
 if __name__ == "__main__":

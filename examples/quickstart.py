@@ -19,6 +19,7 @@ import sys
 
 from repro.experiments import scenarios
 from repro.experiments.sweep import ResultCache, run_sweep
+from repro.metrics.report import format_metric_table
 
 CACHE_DIR = ".sweep-cache/quickstart"
 
@@ -29,14 +30,10 @@ def main() -> None:
     print("Comparing IRN (no PFC) with RoCE (PFC) on a k=4 fat-tree, 70% load")
     sweep = run_sweep(configs, cache=cache)
     if cache is not None and sweep.cache_hits:
-        print(f"({sweep.cache_hits}/{len(sweep)} scenarios served from {CACHE_DIR})")
+        print(f"({sweep.cache_hits}/{len(sweep)} scenarios served from {CACHE_DIR}; "
+              f"re-render any time with: python -m repro.metrics.report {CACHE_DIR})")
 
-    print(f"{'scheme':<22} {'avg slowdown':>12} {'avg FCT (ms)':>14} {'99% FCT (ms)':>14} "
-          f"{'drops':>7} {'pauses':>7}")
-    for label, row in sweep.rows.items():
-        print(f"{label:<22} {row.avg_slowdown:>12.2f} "
-              f"{row.avg_fct_s * 1e3:>14.4f} {row.tail_fct_s * 1e3:>14.4f} "
-              f"{row.packets_dropped:>7d} {row.pause_frames:>7d}")
+    print(format_metric_table("Figure 1 (scaled down)", sweep.rows))
 
     irn = sweep["IRN (without PFC)"]
     roce = sweep["RoCE (with PFC)"]

@@ -8,18 +8,24 @@ cannot cross a process boundary cheaply, and a sweep over hundreds of cells
 must not hold hundreds of simulated networks alive.
 
 :class:`ResultRow` is the flat record that the sweep subsystem ships between
-worker processes and stores in the on-disk cache: plain strings, numbers and
-booleans only, so it pickles in microseconds and round-trips through JSON.
-It mirrors the parts of ``ExperimentResult`` the benchmarks assert against
-(``summary``, ``drop_rate``, fabric counters, ``completion_fraction()``), so
-code written against one works against the other.
+worker processes and stores in the on-disk cache: plain strings, numbers,
+booleans and JSON-safe digest payloads only, so it pickles in microseconds
+and round-trips through JSON.  It mirrors the parts of ``ExperimentResult``
+the benchmarks assert against (``summary``, ``drop_rate``, fabric counters,
+``completion_fraction()``), so code written against one works against the
+other, and carries serialized
+:class:`~repro.metrics.sketch.QuantileDigest` sketches of the FCT, slowdown
+and single-packet-latency distributions so tail metrics survive process
+boundaries, disk caching and seed aggregation.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from functools import cached_property
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
+from repro.metrics.sketch import QuantileDigest
 from repro.metrics.stats import MetricSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,6 +77,18 @@ class ResultRow:
     background_tail_fct_s: Optional[float] = None
     background_num_flows: Optional[int] = None
 
+    # --- mergeable latency digests -----------------------------------------
+    #: Serialized :class:`~repro.metrics.sketch.QuantileDigest` payloads
+    #: (``QuantileDigest.to_dict()``): plain JSON-safe dicts, so the row still
+    #: pickles cheaply and round-trips through the sweep cache.  ``None`` on
+    #: rows predating the digest pipeline.  Excluded from ``__hash__`` (dicts
+    #: are unhashable) so rows stay usable in sets/dict keys; they still
+    #: participate in ``==``.
+    fct_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    slowdown_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    #: Digest over single-packet message FCTs only (Figure 8's metric).
+    single_packet_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+
     # ------------------------------------------------------------------
     # ExperimentResult-compatible views
     # ------------------------------------------------------------------
@@ -110,6 +128,48 @@ class ResultRow:
         return self.flows_completed / self.flows_total
 
     # ------------------------------------------------------------------
+    # Digest views
+    # ------------------------------------------------------------------
+    @cached_property
+    def fct_distribution(self) -> Optional[QuantileDigest]:
+        """The FCT digest, deserialized (``None`` on pre-digest rows)."""
+        return QuantileDigest.from_dict(self.fct_digest) if self.fct_digest else None
+
+    @cached_property
+    def slowdown_distribution(self) -> Optional[QuantileDigest]:
+        """The slowdown digest, deserialized."""
+        return QuantileDigest.from_dict(self.slowdown_digest) if self.slowdown_digest else None
+
+    @cached_property
+    def single_packet_distribution(self) -> Optional[QuantileDigest]:
+        """The single-packet message latency digest, deserialized."""
+        return (
+            QuantileDigest.from_dict(self.single_packet_digest)
+            if self.single_packet_digest
+            else None
+        )
+
+    @property
+    def single_packet_count(self) -> int:
+        """Completed single-packet messages (0 when the digest is absent)."""
+        digest = self.single_packet_distribution
+        return digest.count if digest is not None else 0
+
+    def fct_percentile(self, fraction: float) -> float:
+        """Any FCT percentile, from the digest (exact for small samples)."""
+        digest = self.fct_distribution
+        if digest is None or digest.count == 0:
+            raise ValueError(f"row {self.label!r} carries no FCT digest")
+        return digest.percentile(fraction)
+
+    def single_packet_percentile(self, fraction: float) -> float:
+        """Single-packet latency percentile (Figure 8's y axis)."""
+        digest = self.single_packet_distribution
+        if digest is None or digest.count == 0:
+            raise ValueError(f"row {self.label!r} carries no single-packet digest")
+        return digest.percentile(fraction)
+
+    # ------------------------------------------------------------------
     # Construction and serialization
     # ------------------------------------------------------------------
     @classmethod
@@ -122,6 +182,7 @@ class ResultRow:
         """Flatten a heavyweight :class:`ExperimentResult` into a row."""
         config = result.config
         background = result.background_summary
+        stats = result.collector.stream()
         return cls(
             label=label if label is not None else config.name,
             name=config.name,
@@ -150,6 +211,11 @@ class ResultRow:
             background_avg_fct_s=background.avg_fct if background else None,
             background_tail_fct_s=background.tail_fct if background else None,
             background_num_flows=background.num_flows if background else None,
+            fct_digest=stats.fct_digest.to_dict() if stats.fct_digest else None,
+            slowdown_digest=stats.slowdown_digest.to_dict() if stats.slowdown_digest else None,
+            single_packet_digest=(
+                stats.single_packet_digest.to_dict() if stats.single_packet_digest else None
+            ),
         )
 
     def to_dict(self) -> Dict[str, Any]:

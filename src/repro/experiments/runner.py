@@ -264,10 +264,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         incast_flows = [flow for flow in flows if flow.group == "incast"]
         if incast_flows and all(flow.completed for flow in incast_flows):
             incast_rct = request_completion_time(flows)
-        if any(record.flow.group == "background" for record in collector.records):
+        if collector.stream("background").count:
             background_summary = collector.summary(group="background")
 
-    summary = collector.summary() if collector.records else MetricSummary(0.0, 0.0, 0.0, 0)
+    summary = (
+        collector.summary() if collector.completed_count else MetricSummary(0.0, 0.0, 0.0, 0)
+    )
 
     return ExperimentResult(
         config=config,

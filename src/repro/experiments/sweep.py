@@ -32,12 +32,15 @@ Worked example::
     sweep = run_sweep(grid, cache=ResultCache(".sweep-cache"))
     table = sweep.aggregate(by=("transport", "pfc_enabled"))
 
-The cache is keyed by the *configuration* only; delete the cache directory
-(or call :meth:`ResultCache.clear`) after changing simulator code.
+Cache entries are invalidated automatically when simulator code changes:
+every stored row carries a fingerprint of the installed ``repro`` source
+tree (see :func:`code_fingerprint`) alongside the schema version, and rows
+written by a different source tree read as misses.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import os
@@ -61,11 +64,13 @@ from typing import (
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
+from repro.metrics.sketch import merge_digest_dicts
 from repro.metrics.stats import mean, percentile
 
 #: Bumped whenever the ``ResultRow`` schema or run semantics change in a way
-#: that invalidates previously cached rows.
-CACHE_SCHEMA_VERSION = 1
+#: that invalidates previously cached rows.  (2: rows carry quantile-digest
+#: payloads for FCT / slowdown / single-packet latency.)
+CACHE_SCHEMA_VERSION = 2
 
 #: Upper bound on auto-selected worker processes (per-cell runs are seconds
 #: long, so more workers than this mostly adds fork/teardown overhead).
@@ -76,6 +81,32 @@ def _format_axis_value(value: Any) -> str:
     if isinstance(value, Enum):
         return str(value.value)
     return str(value)
+
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the installed ``repro`` source tree (paths + contents).
+
+    Mixed into every cache entry so rows computed by one version of the
+    simulator stop being served once any file under ``src/repro`` changes --
+    the ROADMAP's code-aware invalidation.  Computed once per process
+    (hashing the ~100-file tree takes single-digit milliseconds).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
 
 
 class ParameterGrid:
@@ -144,33 +175,54 @@ class ResultCache:
     Each row lives in its own JSON file, so concurrent sweeps sharing a cache
     directory never corrupt each other: writes go through a temp file and an
     atomic rename.
+
+    Entries are *code-aware*: every file records the :func:`code_fingerprint`
+    of the source tree that produced it, and entries from a different tree
+    (or an older :data:`CACHE_SCHEMA_VERSION`) read as misses, so editing the
+    simulator can never serve stale rows.  Pass ``code_aware=False`` to keep
+    serving rows across code changes (e.g. archived result directories).
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(self, directory: Union[str, Path], code_aware: bool = True) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_aware = code_aware
 
     def path_for(self, fingerprint: str) -> Path:
         return self.directory / f"{fingerprint}.json"
 
-    def get(self, config: ExperimentConfig) -> Optional[ResultRow]:
-        """The cached row for ``config``, or ``None`` (corrupt files = miss)."""
-        path = self.path_for(config.fingerprint())
+    def _load(self, path: Path) -> Optional[ResultRow]:
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            if self.code_aware and payload.get("code") != code_fingerprint():
                 return None
             return ResultRow.from_dict(payload["row"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def get(self, config: ExperimentConfig) -> Optional[ResultRow]:
+        """The cached row for ``config``, or ``None`` (corrupt files = miss)."""
+        return self._load(self.path_for(config.fingerprint()))
+
     def put(self, row: ResultRow) -> None:
         """Store ``row`` under its fingerprint (atomic rename)."""
         path = self.path_for(row.fingerprint)
-        payload = {"schema": CACHE_SCHEMA_VERSION, "row": row.to_dict()}
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "row": row.to_dict(),
+        }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
         tmp.replace(path)
+
+    def rows(self) -> List[ResultRow]:
+        """Every valid cached row, sorted by label (reporting without
+        re-simulating; stale/corrupt entries are skipped)."""
+        loaded = (self._load(path) for path in sorted(self.directory.glob("*.json")))
+        return sorted((row for row in loaded if row is not None), key=lambda row: row.label)
 
     def clear(self) -> int:
         """Delete every cached row; returns how many were removed."""
@@ -384,6 +436,14 @@ def aggregate_rows(
     ``<metric>_p99`` for the three headline metrics, ``drop_rate_mean`` and
     summed fabric counters -- plain scalars throughout, so records compare
     directly in tests.
+
+    When the member rows carry quantile digests, those digests are *merged*
+    across replicas and the record additionally reports true pooled-
+    distribution percentiles -- ``fct_p50_s`` / ``fct_p99_s`` / ``fct_p999_s``
+    over every flow of every replica (not a mean of per-replica tails, which
+    understates the tail), ``num_flows_total``, and, when single-packet
+    messages completed, ``single_packet_p90_s`` / ``_p99_s`` / ``_p999_s``
+    with ``single_packet_flows``.
     """
     by = tuple(by)
     invalid = [name for name in by if name not in ResultRow.__dataclass_fields__]
@@ -407,5 +467,18 @@ def aggregate_rows(
         record["drop_rate_mean"] = mean([row.drop_rate for row in members])
         for counter in _SUMMED_COUNTERS:
             record[f"{counter}_total"] = sum(getattr(row, counter) for row in members)
+        record["num_flows_total"] = sum(row.num_flows for row in members)
+
+        fct = merge_digest_dicts(row.fct_digest for row in members)
+        if fct is not None and fct.count:
+            record["fct_p50_s"] = fct.percentile(0.50)
+            record["fct_p99_s"] = fct.percentile(0.99)
+            record["fct_p999_s"] = fct.percentile(0.999)
+        single_packet = merge_digest_dicts(row.single_packet_digest for row in members)
+        if single_packet is not None and single_packet.count:
+            record["single_packet_flows"] = single_packet.count
+            record["single_packet_p90_s"] = single_packet.percentile(0.90)
+            record["single_packet_p99_s"] = single_packet.percentile(0.99)
+            record["single_packet_p999_s"] = single_packet.percentile(0.999)
         table.append(record)
     return table

@@ -1,13 +1,37 @@
-"""Metrics: flow completion times, slowdowns, percentiles and tail CDFs."""
+"""Metrics: FCTs, slowdowns, percentiles, mergeable digests and reports."""
 
 from repro.metrics.stats import percentile, summarize, tail_cdf, MetricSummary
-from repro.metrics.collector import FlowMetrics, MetricsCollector
+from repro.metrics.sketch import QuantileDigest, merge_digest_dicts
+from repro.metrics.collector import FlowMetrics, GroupStats, MetricsCollector
+
+#: Report formatters re-exported lazily (PEP 562) so ``python -m
+#: repro.metrics.report`` does not import the module twice.
+_REPORT_EXPORTS = (
+    "format_aggregate_table",
+    "format_incast_table",
+    "format_metric_table",
+    "format_ratio_table",
+    "format_tail_cdf",
+    "load_cached_rows",
+)
 
 __all__ = [
     "percentile",
     "summarize",
     "tail_cdf",
     "MetricSummary",
+    "QuantileDigest",
+    "merge_digest_dicts",
     "FlowMetrics",
+    "GroupStats",
     "MetricsCollector",
+    *_REPORT_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _REPORT_EXPORTS:
+        from repro.metrics import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,14 +5,30 @@ and its *slowdown*: the FCT divided by the time the flow would have taken to
 traverse its path at line rate in an empty network (one store-and-forward
 MTU per hop plus propagation plus transmission of the whole flow at the
 bottleneck rate).
+
+Two representations are maintained as flows complete:
+
+* **Streaming accumulators** (:class:`GroupStats`, one per workload group
+  plus one over all flows): count, exact sums for means, and mergeable
+  :class:`~repro.metrics.sketch.QuantileDigest` sketches of the FCT,
+  slowdown and single-packet latency distributions.  These are compact,
+  serializable and mergeable across seed replicas -- they are what
+  :class:`~repro.experiments.results.ResultRow` exports through the sweep
+  cache.
+* **Per-flow records** (:class:`FlowMetrics`), kept when ``keep_records``
+  is true (the default) so in-process analyses can still see every flow.
+  Pass ``keep_records=False`` for long runs where only the streaming state
+  matters; summaries then fall back to the digests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.transport import Flow
+from repro.metrics.sketch import QuantileDigest
 from repro.metrics.stats import MetricSummary, summarize, tail_cdf
 from repro.sim.packet import DEFAULT_HEADER_BYTES
 
@@ -32,9 +48,60 @@ class FlowMetrics:
     def slowdown(self) -> float:
         return max(1.0, self.fct / self.ideal_fct) if self.ideal_fct > 0 else float("inf")
 
+
+@dataclass
+class GroupStats:
+    """Streaming accumulator over one group of completed flows.
+
+    Everything here is O(1) per flow and mergeable: exact running sums for
+    the means, quantile digests for the distributions.
+    """
+
+    count: int = 0
+    fct_sum: float = 0.0
+    slowdown_sum: float = 0.0
+    fct_digest: QuantileDigest = field(default_factory=QuantileDigest)
+    slowdown_digest: QuantileDigest = field(default_factory=QuantileDigest)
+    #: FCTs of single-packet messages only (Figure 8's latency metric).
+    single_packet_digest: QuantileDigest = field(default_factory=QuantileDigest)
+
+    def observe(self, fct: float, slowdown: float, single_packet: bool) -> None:
+        self.count += 1
+        self.fct_sum += fct
+        self.slowdown_sum += slowdown
+        self.fct_digest.add(fct)
+        # A degenerate zero-ideal-FCT flow reports an infinite slowdown; it
+        # still poisons the mean (as it always did) but cannot enter the
+        # digest, which only admits finite samples.
+        if math.isfinite(slowdown):
+            self.slowdown_digest.add(slowdown)
+        if single_packet:
+            self.single_packet_digest.add(fct)
+
     @property
-    def is_single_packet(self) -> bool:
-        return self.flow.num_packets(1000) == 1
+    def avg_fct(self) -> float:
+        if self.count == 0:
+            raise ValueError("no flows observed")
+        return self.fct_sum / self.count
+
+    @property
+    def avg_slowdown(self) -> float:
+        if self.count == 0:
+            raise ValueError("no flows observed")
+        return self.slowdown_sum / self.count
+
+    def summary(self, tail_fraction: float = 0.99) -> MetricSummary:
+        """Headline metrics from the streaming state (means exact, tail from
+        the digest -- identical to the per-record computation while the
+        digest is in exact mode)."""
+        if self.count == 0:
+            raise ValueError("no flows observed")
+        return MetricSummary(
+            avg_slowdown=self.avg_slowdown,
+            avg_fct=self.avg_fct,
+            tail_fct=self.fct_digest.percentile(tail_fraction),
+            num_flows=self.count,
+        )
 
 
 class MetricsCollector:
@@ -45,11 +112,16 @@ class MetricsCollector:
         network: "Network",
         mtu_bytes: int = 1000,
         header_bytes: int = DEFAULT_HEADER_BYTES,
+        keep_records: bool = True,
     ) -> None:
         self.network = network
         self.mtu_bytes = mtu_bytes
         self.header_bytes = header_bytes
+        self.keep_records = keep_records
         self.records: List[FlowMetrics] = []
+        #: Streaming accumulators: ``None`` covers all flows, a string key
+        #: covers one workload group (``Flow.group``).
+        self.streams: Dict[Optional[str], GroupStats] = {None: GroupStats()}
         self._ideal_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -75,19 +147,55 @@ class MetricsCollector:
         """Record a completed flow (wired as the receiver completion callback)."""
         if flow.completion_time is None:
             flow.completion_time = now
-        self.records.append(FlowMetrics(flow=flow, fct=flow.fct(), ideal_fct=self.ideal_fct(flow)))
+        record = FlowMetrics(flow=flow, fct=flow.fct(), ideal_fct=self.ideal_fct(flow))
+        if self.keep_records:
+            self.records.append(record)
+        single_packet = flow.num_packets(self.mtu_bytes) == 1
+        self.streams[None].observe(record.fct, record.slowdown, single_packet)
+        group_stats = self.streams.get(flow.group)
+        if group_stats is None:
+            group_stats = self.streams[flow.group] = GroupStats()
+        group_stats.observe(record.fct, record.slowdown, single_packet)
+
+    # ------------------------------------------------------------------
+    # Streaming views
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        """Completed flows seen so far (independent of ``keep_records``)."""
+        return self.streams[None].count
+
+    def stream(self, group: Optional[str] = None) -> GroupStats:
+        """The streaming accumulator for ``group`` (``None`` == all flows).
+
+        An unknown group yields an empty accumulator, so callers can probe
+        ``.count`` without special-casing.
+        """
+        return self.streams.get(group) or GroupStats()
 
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
     def completed_flows(self, group: Optional[str] = None) -> List[FlowMetrics]:
         """All completed-flow records, optionally filtered by workload group."""
+        self._require_records()
         if group is None:
             return list(self.records)
         return [record for record in self.records if record.flow.group == group]
 
     def summary(self, group: Optional[str] = None, tail_fraction: float = 0.99) -> MetricSummary:
-        """Average slowdown / average FCT / tail FCT over completed flows."""
+        """Average slowdown / average FCT / tail FCT over completed flows.
+
+        With records kept the tail percentile is computed exactly from the
+        per-flow list; otherwise it comes from the streaming digest (exact
+        while the digest is in exact mode, within its documented error bound
+        beyond).
+        """
+        if not self.keep_records:
+            stats = self.stream(group)
+            if stats.count == 0:
+                raise RuntimeError("no completed flows to summarize")
+            return stats.summary(tail_fraction)
         records = self.completed_flows(group)
         if not records:
             raise RuntimeError("no completed flows to summarize")
@@ -115,4 +223,11 @@ class MetricsCollector:
         """Fraction of generated flows that completed before the sim ended."""
         if total_flows <= 0:
             return 0.0
-        return len(self.records) / total_flows
+        return self.completed_count / total_flows
+
+    def _require_records(self) -> None:
+        if not self.keep_records and self.streams[None].count > 0:
+            raise RuntimeError(
+                "per-flow records were not kept (keep_records=False); "
+                "use the streaming accessors (stream/summary) instead"
+            )

@@ -70,6 +70,22 @@ def summarize(
     )
 
 
+def tail_fractions(start_fraction: float = 0.90, points: int = 50) -> List[float]:
+    """The evenly spaced cumulative fractions a tail CDF is sampled at.
+
+    Shared by the exact and digest-based tail CDFs so both plot the same
+    grid.  The last point is clamped to 0.999: the degenerate 100th
+    percentile only reads noise from a single maximum.
+    """
+    if points < 2:
+        raise ValueError("need at least two CDF points")
+    fractions = [
+        start_fraction + (1.0 - start_fraction) * i / (points - 1) for i in range(points)
+    ]
+    fractions[-1] = min(fractions[-1], 0.999)
+    return fractions
+
+
 def tail_cdf(
     values: Sequence[float],
     start_fraction: float = 0.90,
@@ -82,14 +98,7 @@ def tail_cdf(
     """
     if not values:
         raise ValueError("cannot build a CDF from an empty sequence")
-    if points < 2:
-        raise ValueError("need at least two CDF points")
-    fractions = [
-        start_fraction + (1.0 - start_fraction) * i / (points - 1) for i in range(points)
-    ]
-    # Avoid the degenerate 100th percentile reading noise from a single max.
-    fractions[-1] = min(fractions[-1], 0.999)
-    return [(percentile(values, f), f) for f in fractions]
+    return [(percentile(values, f), f) for f in tail_fractions(start_fraction, points)]
 
 
 def mean(values: Iterable[float]) -> float:

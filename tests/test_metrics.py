@@ -137,3 +137,84 @@ class TestCollector:
             flow.fct()
         assert flow.num_packets(1000) == 1
         assert Flow(flow_id=2, src="a", dst="b", size_bytes=2500).num_packets(1000) == 3
+
+
+class TestStreamingCollector:
+    """The streaming accumulators that feed ResultRow's quantile digests."""
+
+    def make_collector(self, **kwargs):
+        sim = Simulator()
+        network = build_star(sim, 3, bandwidth_bps=10e9, link_delay_s=1e-6)
+        return MetricsCollector(network, mtu_bytes=1000, header_bytes=0, **kwargs)
+
+    def complete(self, collector, flow_id, size_bytes, fct, group="default"):
+        flow = Flow(
+            flow_id=flow_id, src="h0", dst="h1", size_bytes=size_bytes,
+            start_time=0.0, group=group,
+        )
+        flow.completion_time = fct
+        collector.on_flow_complete(flow, fct)
+
+    def test_streams_track_all_flows_and_groups(self):
+        collector = self.make_collector()
+        self.complete(collector, 1, 500, 1e-5, group="incast")
+        self.complete(collector, 2, 5000, 3e-5, group="background")
+        self.complete(collector, 3, 500, 2e-5, group="background")
+        assert collector.completed_count == 3
+        assert collector.stream().count == 3
+        assert collector.stream("background").count == 2
+        assert collector.stream("incast").count == 1
+        assert collector.stream("unknown-group").count == 0
+
+    def test_single_packet_digest_matches_record_filter(self):
+        collector = self.make_collector()
+        self.complete(collector, 1, 500, 5e-6)     # single packet
+        self.complete(collector, 2, 50_000, 5e-4)  # multi packet
+        stats = collector.stream()
+        assert stats.single_packet_digest.count == 1
+        assert stats.single_packet_digest.percentile(0.5) == 5e-6
+        assert collector.single_packet_latencies() == [5e-6]
+
+    def test_streaming_summary_matches_record_summary(self):
+        collector = self.make_collector()
+        for i, fct in enumerate((1e-5, 2e-5, 3e-5, 4e-5)):
+            self.complete(collector, i, 5000, fct)
+        exact = collector.summary()
+        streamed = collector.stream().summary()
+        # Digests in exact mode reproduce the record path bit for bit.
+        assert streamed == exact
+
+    def test_keep_records_false_streams_only(self):
+        collector = self.make_collector(keep_records=False)
+        self.complete(collector, 1, 500, 1e-5)
+        self.complete(collector, 2, 500, 3e-5)
+        assert collector.records == []
+        assert collector.completed_count == 2
+        assert collector.completion_fraction(4) == 0.5
+        summary = collector.summary()
+        assert summary.num_flows == 2
+        assert summary.avg_fct == pytest.approx(2e-5)
+        with pytest.raises(RuntimeError, match="keep_records"):
+            collector.completed_flows()
+        with pytest.raises(RuntimeError, match="keep_records"):
+            collector.single_packet_latencies()
+
+    def test_keep_records_false_empty_summary_raises(self):
+        collector = self.make_collector(keep_records=False)
+        with pytest.raises(RuntimeError, match="no completed flows"):
+            collector.summary()
+
+    def test_infinite_slowdown_does_not_crash_streaming(self):
+        # A zero-byte flow with zero header bytes on a zero-delay path has
+        # ideal_fct == 0, so its slowdown is inf: it must still poison the
+        # mean (as it always did) without aborting the run inside the digest.
+        sim = Simulator()
+        network = build_star(sim, 3, bandwidth_bps=10e9, link_delay_s=0.0)
+        collector = MetricsCollector(network, mtu_bytes=1000, header_bytes=0)
+        self.complete(collector, 1, 0, 1e-5)
+        self.complete(collector, 2, 500, 2e-5)
+        stats = collector.stream()
+        assert stats.count == 2
+        assert stats.avg_slowdown == float("inf")
+        assert stats.slowdown_digest.count == 1  # only the finite sample
+        assert stats.fct_digest.count == 2

@@ -132,6 +132,38 @@ class TestResultRow:
         assert row.retransmissions == result.retransmissions
         assert row.events_processed == result.events_processed > 0
 
+    def test_carries_latency_digests(self):
+        result = run_experiment(tiny_config())
+        row = result.to_row()
+        fct = row.fct_distribution
+        assert fct is not None and fct.count == row.num_flows
+        # Exact-mode digests reproduce the per-flow computation bit for bit.
+        assert fct.is_exact
+        assert row.fct_percentile(0.99) == result.summary.tail_fct
+        assert fct.mean == pytest.approx(result.summary.avg_fct)
+        slowdowns = row.slowdown_distribution
+        assert slowdowns is not None
+        assert slowdowns.mean == pytest.approx(result.summary.avg_slowdown)
+        # 20 kB flows are multi-packet: no single-packet digest.
+        assert row.single_packet_count == 0
+        with pytest.raises(ValueError, match="no single-packet digest"):
+            row.single_packet_percentile(0.99)
+
+    def test_digests_survive_dict_roundtrip(self):
+        row = run_experiment(tiny_config()).to_row()
+        clone = ResultRow.from_dict(row.to_dict())
+        assert clone.fct_digest == row.fct_digest
+        assert clone.fct_percentile(0.999) == row.fct_percentile(0.999)
+
+    def test_rows_stay_hashable_despite_digest_payloads(self):
+        # The digest dicts are excluded from __hash__ (dicts are unhashable)
+        # but still participate in equality.
+        row = run_experiment(tiny_config()).to_row()
+        clone = ResultRow.from_dict(row.to_dict())
+        assert row.fct_digest is not None
+        assert {row, clone} == {row}
+        assert hash(row) == hash(clone) and row == clone
+
 
 class TestRunSweep:
     def test_parallel_matches_serial_for_fixed_seeds(self):
@@ -238,6 +270,40 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_code_change_invalidates_entries(self, tmp_path, monkeypatch):
+        # Simulator code changes must not serve stale rows (ROADMAP item):
+        # the stored code fingerprint no longer matches -> miss.
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        run_sweep({"cell": config}, workers=1, cache=cache)
+        assert cache.get(config) is not None
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        assert cache.get(config) is None
+        redo = run_sweep({"cell": config}, workers=1, cache=cache)
+        assert redo.runs_executed == 1
+
+    def test_code_unaware_cache_opts_out(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        config = tiny_config()
+        run_sweep({"cell": config}, workers=1, cache=cache)
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        archive = ResultCache(tmp_path / "cache", code_aware=False)
+        assert archive.get(config) is not None
+
+    def test_rows_lists_cached_rows(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        configs = {"b": tiny_config(seed=2), "a": tiny_config(seed=1)}
+        run_sweep(configs, workers=1, cache=cache)
+        rows = cache.rows()
+        assert [row.label for row in rows] == ["a", "b"]
+        # Corrupt entries are skipped, not fatal.
+        next(iter(cache.directory.glob("*.json"))).write_text("{not json")
+        assert len(cache.rows()) == 1
+
 
 class TestAggregation:
     def test_mean_and_p99_across_seeds(self):
@@ -261,3 +327,38 @@ class TestAggregation:
     def test_unknown_group_field_rejected(self):
         with pytest.raises(ValueError, match="unknown ResultRow field"):
             aggregate_rows([], by=("nope",))
+
+    def test_digests_merge_into_pooled_percentiles(self):
+        from repro.metrics.sketch import QuantileDigest
+
+        rows = list(run_sweep(tiny_grid(), workers=2).rows.values())
+        table = aggregate_rows(rows, by=("transport", "pfc_enabled"))
+        cell = next(
+            record for record in table
+            if record["transport"] == "irn" and record["pfc_enabled"] is False
+        )
+        members = [row for row in rows if row.transport == "irn" and not row.pfc_enabled]
+        assert cell["num_flows_total"] == sum(row.num_flows for row in members)
+        # The pooled p99 is the true percentile over every flow of every
+        # replica (here all digests are exact, so bit-exact), not a mean of
+        # per-replica tails.
+        pooled = QuantileDigest()
+        for row in members:
+            pooled.merge(QuantileDigest.from_dict(row.fct_digest))
+        assert cell["fct_p99_s"] == pooled.percentile(0.99)
+        assert cell["fct_p999_s"] == pooled.percentile(0.999)
+        assert cell["fct_p50_s"] <= cell["fct_p99_s"] <= cell["fct_p999_s"]
+        # 20 kB flows are multi-packet: no single-packet percentiles emitted.
+        assert "single_packet_p99_s" not in cell
+
+    def test_rows_without_digests_still_aggregate(self):
+        # Rows cached before the digest pipeline (fields default to None)
+        # aggregate fine, just without pooled percentiles.
+        row = run_experiment(tiny_config()).to_row()
+        legacy = ResultRow.from_dict(
+            {**row.to_dict(), "fct_digest": None, "slowdown_digest": None,
+             "single_packet_digest": None}
+        )
+        (record,) = aggregate_rows([legacy], by=("transport",))
+        assert record["replicas"] == 1
+        assert "fct_p99_s" not in record
