@@ -45,6 +45,8 @@ BENCH_FLOWS = 120
 #: Seed shared by all benchmark scenarios.
 BENCH_SEED = 1
 #: Seed axis used by the multi-replica benchmarks (fig1/fig2/fig10).
+#: fig8/table6/table9 instead take their replica axis from the spec-level
+#: ``seeds`` field (``scenario(name).seeds``) via ``spec.replicated()``.
 BENCH_SEEDS = (1, 2, 3)
 
 
@@ -73,9 +75,15 @@ def seed_replicas(
     configs: Dict[str, ExperimentConfig],
     seeds: Sequence[int] = BENCH_SEEDS,
 ) -> Dict[str, ExperimentConfig]:
-    """Expand scenario configs over a seed axis (labels stay unique)."""
+    """Expand scenario configs over a seed axis (labels stay unique).
+
+    Uses the same ``replica_label`` format as ``ScenarioSpec.replicated``,
+    so benchmarks indexing either path's results by label agree.
+    """
+    from repro.experiments.spec import replica_label
+
     return {
-        f"{label} [seed={seed}]": config.with_overrides(seed=seed)
+        replica_label(label, seed): config.with_overrides(seed=seed)
         for label, config in configs.items()
         for seed in seeds
     }

@@ -5,52 +5,62 @@ messages than RoCE (with PFC) across all three congestion-control settings,
 because the low RTO_low recovers lost single-packet messages quickly while
 PFC makes them wait behind paused queues.
 
-Runs through :func:`run_sweep` like every other figure (parallel-capable and
-cache-hitting): the per-flow latency distribution travels as a mergeable
-quantile digest on each :class:`ResultRow`, so the heavyweight in-process
-``MetricsCollector`` path is no longer needed.  At this scenario scale the
-digests hold well under their exact-mode ceiling, so the percentiles below
-are bit-identical to the retired serial computation; beyond that ceiling the
-sketch documents a <= 1% relative error, inside the 2% acceptance envelope.
+Every scheme runs over the spec's three-seed replica axis
+(``scenario("fig8").seeds``) in one sweep; the tail assertions are on
+*pooled* percentiles -- the per-replica quantile digests merged by
+:func:`aggregate_rows` into one distribution over every flow of every
+replica -- rather than a single seed's draw.
 """
 
 from repro.experiments import scenarios
 from repro.metrics.report import format_tail_cdf
 
-from benchmarks.conftest import BENCH_SEED, print_metric_table, run_scenarios
+from benchmarks.conftest import (
+    aggregate_by_scheme,
+    print_metric_table,
+    run_scenarios,
+)
+
+FLOWS = 100
 
 
 def test_fig8_single_packet_tail_latency(benchmark):
-    configs = scenarios.fig8_configs(num_flows=100, seed=BENCH_SEED)
-    results = run_scenarios(benchmark, configs)
-    print_metric_table("Figure 8 inputs (all flows)", results)
+    spec = scenarios.scenario("fig8")
+    base = spec.configs(num_flows=FLOWS)
+    results = run_scenarios(benchmark, spec.replicated(num_flows=FLOWS))
+    print_metric_table("Figure 8 inputs (all flows, per replica)", results)
 
-    print("\n=== Figure 8: single-packet message latency tail (ms) ===")
+    aggregates = aggregate_by_scheme(base, results)
+    print("\n=== Figure 8: pooled single-packet latency tail over "
+          f"{len(spec.seeds)} seeds (ms) ===")
     print(f"{'scheme':<36} {'msgs':>5} {'p90':>9} {'p99':>9} {'p99.9':>9}")
     tails = {}
-    for label, row in results.items():
-        assert row.single_packet_count > 0, f"{label}: no single-packet messages completed"
-        # Small-sample digests stay exact, so these percentiles match the
-        # per-flow list computation exactly.
-        assert row.single_packet_distribution.is_exact
+    for label, record in aggregates.items():
+        assert record["replicas"] == len(spec.seeds), label
+        assert record["seeds"] == sorted(spec.seeds)
+        assert record.get("single_packet_flows", 0) > 0, (
+            f"{label}: no single-packet messages completed"
+        )
         percentiles = tuple(
-            row.single_packet_percentile(f) * 1e3 for f in (0.90, 0.99, 0.999)
+            record[f"single_packet_p{tag}_s"] * 1e3 for tag in ("90", "99", "999")
         )
         tails[label] = percentiles
-        print(f"{label:<36} {row.single_packet_count:>5d} "
+        print(f"{label:<36} {record['single_packet_flows']:>5d} "
               f"{percentiles[0]:>9.4f} {percentiles[1]:>9.4f} {percentiles[2]:>9.4f}")
 
     for cc in ("none", "timely", "dcqcn"):
         irn = tails[f"IRN (without PFC) +{cc}"]
         roce = tails[f"RoCE (with PFC) +{cc}"]
-        # IRN's 99th-percentile single-packet latency stays competitive with
-        # (paper: significantly better than) RoCE+PFC.
+        # IRN's pooled 99th-percentile single-packet latency stays competitive
+        # with (paper: significantly better than) RoCE+PFC.
         assert irn[1] <= 1.5 * roce[1]
 
-    # The tail's shape, straight from the digests (Figure 8's two extremes).
+    # The tail's shape, straight from one replica's digest (Figure 8's two
+    # extremes; aggregates pool the numbers above, the CDF shows the shape).
     for label in ("RoCE (with PFC) +none", "IRN (without PFC) +none"):
+        row = results[f"{label} [seed=1]"]
         print()
         print(format_tail_cdf(
-            results[label].single_packet_distribution,
-            title=f"{label}: single-packet latency tail",
+            row.single_packet_distribution,
+            title=f"{label}: single-packet latency tail (seed 1)",
         ))

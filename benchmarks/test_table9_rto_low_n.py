@@ -2,21 +2,48 @@
 
 Paper result: raising N from 3 to 10 or 15 produces only very small
 differences -- IRN is robust to how its timeout parameters are set.
+
+Each (row, scheme) cell runs over the spec's three-seed replica axis; the
+robustness assertion compares :func:`aggregate_rows` means across rows
+instead of a single seed's draw.  The benchmark sweeps the extreme thresholds
+(N=3 vs N=15); the registered ``table9`` scenario carries the paper's full
+(3, 10, 15) sweep.
 """
 
 from repro.experiments import scenarios
 
-from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+from benchmarks.conftest import (
+    aggregate_by_scheme,
+    print_ratio_rows,
+    run_scenarios,
+)
+
+FLOWS = 90
+N_VALUES = (3, 15)
 
 
 def test_table9_rto_low_threshold_sweep(benchmark):
-    table = scenarios.table9_configs(n_values=(3, 10, 15), num_flows=90, seed=BENCH_SEED)
-    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
-    results = run_scenarios(benchmark, flat)
-    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
-    print_ratio_rows("Table 9: RTO_low threshold (N) sweep", rows)
+    spec = scenarios.scenario("table9").with_rows(
+        {f"N={n}": {"rto_low_threshold_packets": n} for n in N_VALUES}
+    )
+    table = spec.tables(num_flows=FLOWS)
+    results = run_scenarios(benchmark, spec.replicated(num_flows=FLOWS))
 
-    irn_fcts = [schemes["IRN"].summary.avg_fct for schemes in rows.values()]
+    rows = {
+        row: {col: results[f"{row}|{col} [seed={spec.seeds[0]}]"] for col in cols}
+        for row, cols in table.items()
+    }
+    print_ratio_rows("Table 9: RTO_low threshold (N) sweep (seed 1)", rows)
+
+    aggregates = aggregate_by_scheme(spec.configs(num_flows=FLOWS), results)
+    irn_fcts = []
+    for row in table:
+        record = aggregates[f"{row}|IRN"]
+        assert record["replicas"] == len(spec.seeds), row
+        assert record["avg_fct_s_ci95"] >= 0.0
+        irn_fcts.append(record["avg_fct_s_mean"])
+    # Robustness: the seed-averaged IRN FCT barely moves across thresholds.
     assert max(irn_fcts) <= 1.5 * min(irn_fcts)
-    for schemes in rows.values():
-        assert schemes["IRN"].completion_fraction() == 1.0
+    for label, result in results.items():
+        if "|IRN " in label or label.endswith("|IRN"):
+            assert result.completion_fraction() == 1.0, label

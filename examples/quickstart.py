@@ -5,10 +5,13 @@ This reproduces the headline comparison of the paper (Figure 1) on a scaled-
 down fat-tree: a heavy-tailed RPC/storage workload at 70% load, ECMP load
 balancing, buffers of twice the bandwidth-delay product.
 
-Both scenarios run in parallel through the sweep subsystem, and completed
-results are cached on disk -- re-running this script is instant, and editing
-one scenario only re-runs that scenario.  Delete the cache directory (or run
-with ``--no-cache``) to force fresh simulations.
+Everything goes through :mod:`repro.api`: the scenario is resolved by name
+from the registry, and one ``sweep()`` call runs every cell in parallel with
+completed results cached on disk -- re-running this script is instant, and
+editing one scenario only re-runs that scenario.  Delete the cache directory
+(or run with ``--no-cache``) to force fresh simulations.
+
+The same pipeline is one shell command: ``python -m repro run fig1``.
 
 Run with::
 
@@ -17,26 +20,23 @@ Run with::
 
 import sys
 
-from repro.experiments import scenarios
-from repro.experiments.sweep import ResultCache, run_sweep
-from repro.metrics.report import format_metric_table
+import repro.api as repro
 
 CACHE_DIR = ".sweep-cache/quickstart"
 
 
 def main() -> None:
-    cache = None if "--no-cache" in sys.argv[1:] else ResultCache(CACHE_DIR)
-    configs = scenarios.fig1_configs(num_flows=120)
+    cache = None if "--no-cache" in sys.argv[1:] else repro.ResultCache(CACHE_DIR)
     print("Comparing IRN (no PFC) with RoCE (PFC) on a k=4 fat-tree, 70% load")
-    sweep = run_sweep(configs, cache=cache)
+    sweep = repro.load_scenario("fig1").sweep(seeds=[1], num_flows=120, cache=cache)
     if cache is not None and sweep.cache_hits:
         print(f"({sweep.cache_hits}/{len(sweep)} scenarios served from {CACHE_DIR}; "
               f"re-render any time with: python -m repro.metrics.report {CACHE_DIR})")
 
-    print(format_metric_table("Figure 1 (scaled down)", sweep.rows))
+    print(repro.format_metric_table("Figure 1 (scaled down)", sweep.rows))
 
-    irn = sweep["IRN (without PFC)"]
-    roce = sweep["RoCE (with PFC)"]
+    irn = sweep["IRN (without PFC) [seed=1]"]
+    roce = sweep["RoCE (with PFC) [seed=1]"]
     improvement = (1.0 - irn.avg_slowdown / roce.avg_slowdown) * 100.0
     print(f"\nIRN improves average slowdown by {improvement:.0f}% while running on a lossy "
           f"fabric ({irn.packets_dropped} packets dropped, zero PFC pauses).")

@@ -21,6 +21,10 @@ The package provides:
 * :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.experiments` --
   workload generators, metric collection and the experiment harness that
   regenerates every figure and table in the paper.
+* :mod:`repro.registry`, :mod:`repro.api` -- the name->builder registries
+  that make topologies/workloads/transports/congestion schemes pluggable,
+  and the facade (``load_scenario(name).sweep(...)``) behind the
+  ``python -m repro run`` CLI.
 """
 
 from repro.version import __version__

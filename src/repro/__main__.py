@@ -1,0 +1,174 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+
+``run <scenario>``
+    Resolve a registered scenario by name, sweep every cell (optionally over
+    seed replicas and worker processes, served from a disk cache), and print
+    the per-replica metric table, the per-cell aggregate table (means with
+    95% confidence intervals, pooled tail percentiles) and, with ``--cdf``,
+    Figure 8-style tail CDFs.
+
+``list``
+    Show every registered scenario with its description and shape.
+
+Examples::
+
+    python -m repro run fig1
+    python -m repro run fig8 --seeds 3 --workers 4 --cache .sweep-cache/fig8 --cdf
+    python -m repro run fig1 --flows 60 --set target_load=0.9
+    python -m repro list
+
+(``--set`` applies to *every* cell; setting a field a scenario sweeps as its
+row axis would collapse the sweep, so the CLI warns when that happens.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api import (
+    SweepResult,
+    format_aggregate_table,
+    format_incast_table,
+    format_metric_table,
+    format_tail_cdf,
+    list_scenarios,
+    load_scenario,
+)
+from repro.experiments.spec import ScenarioSpec
+from repro.registry import UnknownNameError
+
+
+def _parse_set_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """``--set key=value`` pairs; values parse as JSON when possible, so
+    ``--set target_load=0.9 --set workload='"uniform"'`` and bare strings
+    (``--set workload=uniform``) both work."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
+def _print_report(spec: ScenarioSpec, sweep: SweepResult, show_cdf: bool) -> None:
+    print(format_metric_table(f"{spec.name}: per-run metrics", sweep.rows))
+    if any(row.incast_rct_s is not None for row in sweep.rows.values()):
+        print()
+        print(format_incast_table(f"{spec.name}: incast", sweep.rows))
+    if len(sweep.rows) > len(spec.variants) * len(spec.row_labels() or (None,)):
+        # Seed replicas present: fold them into per-cell aggregates.
+        print()
+        print(f"=== {spec.name}: per-cell aggregates over seed replicas ===")
+        print(format_aggregate_table(spec.aggregate(sweep), label_keys=spec.aggregate_by))
+    if show_cdf:
+        for label, row in sweep.rows.items():
+            digest = row.single_packet_distribution
+            if digest is None or not digest.count:
+                continue
+            print()
+            print(format_tail_cdf(
+                digest,
+                title=f"{label}: single-packet latency tail ({digest.count} msgs)",
+            ))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_scenario(args.scenario)
+    except UnknownNameError as exc:
+        print(exc)
+        return 2
+
+    overrides = _parse_set_overrides(args.set or [])
+    if args.flows is not None:
+        overrides["num_flows"] = args.flows
+
+    # Overriding a field the scenario sweeps as its row axis would make every
+    # row run the same simulation while keeping its distinct label -- warn.
+    swept = {key for row in (spec.rows or {}).values() for key in row}
+    collapsed = sorted(swept & set(overrides))
+    if collapsed:
+        print(f"warning: override of {', '.join(collapsed)} collapses "
+              f"{spec.name}'s row sweep -- every row now runs the same value")
+    # Names define aggregation cells; forcing one name onto >1 cell would
+    # pool every scheme's replicas into a single meaningless aggregate.
+    if "name" in overrides and len(spec.configs()) > 1:
+        print("warning: --set name=... gives every cell the same name, so "
+              "the per-cell aggregate table pools all of them together")
+
+    seeds: Optional[int] = args.seeds
+    cache = None if args.no_cache else args.cache
+    sweep = spec.sweep(seeds=seeds, workers=args.workers, cache=cache, **overrides)
+
+    executed = sweep.runs_executed
+    served = sweep.cache_hits
+    print(f"{spec.name}: {len(sweep)} runs "
+          f"({executed} simulated, {served} from cache, "
+          f"{sweep.workers_used} worker{'s' if sweep.workers_used != 1 else ''})")
+    print()
+    _print_report(spec, sweep, show_cdf=args.cdf)
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    names = list_scenarios()
+    width = max(len(name) for name in names)
+    for name in names:
+        spec = load_scenario(name)
+        shape = f"{len(spec.variants)} variants"
+        if spec.rows:
+            shape += f" x {len(spec.rows)} rows"
+        if spec.seeds:
+            shape += f", seeds {list(spec.seeds)}"
+        print(f"{name:<{width}}  {shape:<28}  {spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run registered experiment scenarios end-to-end "
+        "(sweep -> aggregate -> report).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario and print its report")
+    run.add_argument("scenario", help="registered scenario name (see: python -m repro list)")
+    run.add_argument("--seeds", type=int, default=None, metavar="N",
+                     help="run seeds 1..N per cell (default: the spec's own seed axis)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker processes (default: auto; 1 = serial)")
+    run.add_argument("--cache", default=None, metavar="DIR",
+                     help="serve/store results in this sweep-cache directory")
+    run.add_argument("--no-cache", action="store_true",
+                     help="force fresh simulations even if --cache is set")
+    run.add_argument("--flows", type=int, default=None, metavar="N",
+                     help="override num_flows for every cell (quick smoke runs)")
+    run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                     help="override any ExperimentConfig field for every cell "
+                          "(repeatable; value parsed as JSON when possible)")
+    run.add_argument("--cdf", action="store_true",
+                     help="also print single-packet latency tail CDFs")
+    run.set_defaults(func=_cmd_run)
+
+    lst = sub.add_parser("list", help="list registered scenarios")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""The one-stop facade over the experiment stack.
+
+Everything a user (or an orchestration layer) needs to define, resolve and
+run scenarios, in one import::
+
+    import repro.api as repro
+
+    # Run a paper scenario end-to-end: sweep -> aggregate -> report.
+    sweep = repro.load_scenario("fig8").sweep(seeds=3, workers=4,
+                                              cache=".sweep-cache/fig8")
+    print(repro.format_metric_table("Figure 8", sweep.rows))
+
+    # Plug in new components without touching any repro module.
+    @repro.register_topology("ring", max_hop_count=4, switch_radix=4)
+    def build_ring(sim, config, switch_config): ...
+
+    @repro.register_congestion_control("swift", rtt_based=True)
+    def make_swift(line_rate_bps, base_rtt_s, params=None): ...
+
+    spec = repro.ScenarioSpec(name="mine", defaults={"topology": "ring"},
+                              variants={"swift": {"congestion_control": "swift"}})
+    repro.register_scenario(spec)
+    repro.load_scenario("mine").sweep(workers=1)   # see note below
+
+The same surface drives the command line: ``python -m repro run <scenario>``
+(see :mod:`repro.__main__`).
+
+Note: registrations are process-local.  Components registered in a script
+(rather than an importable module) require ``workers=1`` when sweeping --
+parallel worker processes re-import a clean registry, and on spawn-based
+platforms (macOS/Windows) every cell would fail with an unknown-name error.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.congestion.factory import (
+    CONGESTION_SCHEMES,
+    CongestionScheme,
+    make_congestion_control,
+    register_congestion_control,
+)
+from repro.core.factory import TRANSPORTS, TransportKind, register_transport
+from repro.experiments.config import CongestionControl, ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.spec import (
+    SCENARIOS,
+    ScenarioSpec,
+    register_scenario,
+    scenario as load_scenario,
+)
+from repro.experiments.sweep import (
+    ParameterGrid,
+    ResultCache,
+    SweepResult,
+    aggregate_rows,
+    run_sweep,
+)
+from repro.metrics.report import (
+    format_aggregate_table,
+    format_incast_table,
+    format_metric_table,
+    format_tail_cdf,
+)
+from repro.topology import TOPOLOGIES, register_topology
+from repro.workload import WORKLOADS, register_workload
+
+__all__ = [
+    # scenarios
+    "SCENARIOS",
+    "ScenarioSpec",
+    "list_scenarios",
+    "load_scenario",
+    "register_scenario",
+    # execution
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ParameterGrid",
+    "ResultCache",
+    "SweepResult",
+    "aggregate_rows",
+    "run_experiment",
+    "run_sweep",
+    # component registries
+    "CONGESTION_SCHEMES",
+    "CongestionControl",
+    "CongestionScheme",
+    "TOPOLOGIES",
+    "TRANSPORTS",
+    "TransportKind",
+    "WORKLOADS",
+    "make_congestion_control",
+    "register_congestion_control",
+    "register_topology",
+    "register_transport",
+    "register_workload",
+    # reporting
+    "format_aggregate_table",
+    "format_incast_table",
+    "format_metric_table",
+    "format_tail_cdf",
+]
+
+
+def list_scenarios() -> List[str]:
+    """Names of every registered scenario (paper presets load on demand)."""
+    import repro.experiments.scenarios  # noqa: F401  (self-registration)
+
+    return SCENARIOS.names()

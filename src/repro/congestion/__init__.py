@@ -10,9 +10,17 @@ from repro.congestion.base import CongestionControl, NoCongestionControl
 from repro.congestion.dcqcn import Dcqcn, DcqcnParams
 from repro.congestion.timely import Timely, TimelyParams
 from repro.congestion.window import AimdWindow, AimdParams, DctcpWindow, DctcpParams
-from repro.congestion.factory import make_congestion_control
+from repro.congestion.factory import (
+    CONGESTION_SCHEMES,
+    CongestionScheme,
+    make_congestion_control,
+    register_congestion_control,
+)
 
 __all__ = [
+    "CONGESTION_SCHEMES",
+    "CongestionScheme",
+    "register_congestion_control",
     "CongestionControl",
     "NoCongestionControl",
     "Dcqcn",

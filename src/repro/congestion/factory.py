@@ -1,13 +1,107 @@
-"""Construct congestion-control instances from an experiment configuration."""
+"""Congestion-control registry and per-flow instance construction.
+
+Schemes are pluggable: each algorithm registers a :class:`CongestionScheme`
+in :data:`CONGESTION_SCHEMES` under a name.  A scheme bundles the per-flow
+factory with the metadata the rest of the stack needs to wire it up without
+hard-coded per-algorithm branches:
+
+* ``needs_ecn`` -- switches must ECN-mark packets (DCQCN, DCTCP);
+* ``step_marking`` -- mark by instantaneous queue threshold instead of the
+  RED-style probabilistic profile (DCTCP);
+* ``rtt_based`` -- the sender needs per-packet ACKs for RTT samples even on
+  a lossless fabric (Timely);
+* ``wants_cnp`` -- receivers send DCQCN-style congestion notification
+  packets when they see marked traffic.
+
+Register a new algorithm from outside this package and every transport and
+scenario can use it by name::
+
+    from repro.congestion import register_congestion_control
+
+    @register_congestion_control("swift", rtt_based=True)
+    def make_swift(line_rate_bps, base_rtt_s, params=None):
+        return Swift(line_rate_bps, params or SwiftParams(base_rtt_s))
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
 
 from repro.congestion.base import CongestionControl, NoCongestionControl
 from repro.congestion.dcqcn import Dcqcn, DcqcnParams
 from repro.congestion.timely import Timely, TimelyParams
 from repro.congestion.window import AimdParams, AimdWindow, DctcpParams, DctcpWindow
+from repro.registry import Registry
+
+__all__ = [
+    "CONGESTION_SCHEMES",
+    "CongestionScheme",
+    "make_congestion_control",
+    "register_congestion_control",
+]
+
+#: ``(line_rate_bps, base_rtt_s, params=None) -> CongestionControl``.
+SchemeFactory = Callable[..., CongestionControl]
+
+
+@dataclass(frozen=True)
+class CongestionScheme:
+    """A registered congestion-control algorithm plus its fabric needs."""
+
+    name: str
+    factory: SchemeFactory
+    #: Switches must ECN-mark packets for this scheme to see congestion.
+    needs_ecn: bool = False
+    #: ECN marking is by instantaneous-queue step threshold (DCTCP style).
+    step_marking: bool = False
+    #: The sender needs per-packet ACKs for RTT samples regardless of PFC.
+    rtt_based: bool = False
+    #: Receivers emit DCQCN-style CNPs when they receive marked packets.
+    wants_cnp: bool = False
+
+    def build(
+        self, line_rate_bps: float, base_rtt_s: float, params: Optional[Any] = None
+    ) -> CongestionControl:
+        return self.factory(line_rate_bps, base_rtt_s, params=params)
+
+
+CONGESTION_SCHEMES: Registry[CongestionScheme] = Registry("congestion control")
+
+
+def register_congestion_control(
+    name: str,
+    *,
+    needs_ecn: bool = False,
+    step_marking: bool = False,
+    rtt_based: bool = False,
+    wants_cnp: bool = False,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+):
+    """Decorator registering a scheme factory under ``name``.
+
+    The decorated callable takes ``(line_rate_bps, base_rtt_s, params=None)``
+    and returns a fresh per-flow :class:`CongestionControl` instance.
+    """
+
+    def decorator(factory: SchemeFactory) -> SchemeFactory:
+        CONGESTION_SCHEMES.register(
+            name,
+            CongestionScheme(
+                name=name,
+                factory=factory,
+                needs_ecn=needs_ecn,
+                step_marking=step_marking,
+                rtt_based=rtt_based,
+                wants_cnp=wants_cnp,
+            ),
+            aliases=aliases,
+            replace=replace,
+        )
+        return factory
+
+    return decorator
 
 
 def make_congestion_control(
@@ -18,39 +112,74 @@ def make_congestion_control(
     timely_params: Optional[TimelyParams] = None,
     aimd_params: Optional[AimdParams] = None,
     dctcp_params: Optional[DctcpParams] = None,
+    params: Optional[Any] = None,
 ) -> CongestionControl:
-    """Build a per-flow congestion-control object.
+    """Build a per-flow congestion-control object by registered name.
 
     Parameters
     ----------
     kind:
-        One of ``"none"``, ``"dcqcn"``, ``"timely"``, ``"aimd"``, ``"dctcp"``.
+        A registered scheme name (``"none"``, ``"dcqcn"``, ``"timely"``,
+        ``"aimd"``, ``"dctcp"``, or anything added via
+        :func:`register_congestion_control`).  A
+        :class:`~repro.experiments.config.CongestionControl` enum member is
+        accepted and resolves through the registry.
     line_rate_bps:
         Host link rate (rate-based algorithms start at line rate).
     base_rtt_s:
         Unloaded RTT of the longest path; used to scale Timely's thresholds
         and the DCQCN timers when explicit parameters are not supplied, so
         the algorithms remain meaningful on scaled-down test fabrics.
+    params:
+        Optional algorithm-specific parameter object forwarded to the
+        factory; the legacy ``*_params`` keywords keep working for the
+        built-in schemes.
     """
-    kind = kind.lower()
-    if kind in ("none", "no_cc", "off"):
-        return NoCongestionControl()
-    if kind == "dcqcn":
-        params = dcqcn_params or DcqcnParams(
-            alpha_timer_s=max(base_rtt_s, 5e-6),
-            rate_increase_timer_s=max(3.0 * base_rtt_s, 15e-6),
-            cnp_interval_s=max(base_rtt_s, 5e-6),
-        )
-        return Dcqcn(line_rate_bps, params)
-    if kind == "timely":
-        params = timely_params or TimelyParams(
-            t_low_s=1.5 * base_rtt_s,
-            t_high_s=6.0 * base_rtt_s,
-            min_rtt_s=max(base_rtt_s, 1e-6),
-        )
-        return Timely(line_rate_bps, params)
-    if kind == "aimd":
-        return AimdWindow(aimd_params or AimdParams())
-    if kind == "dctcp":
-        return DctcpWindow(dctcp_params or DctcpParams())
-    raise ValueError(f"unknown congestion control kind {kind!r}")
+    scheme = CONGESTION_SCHEMES.get(kind)
+    if params is None:
+        params = {
+            "dcqcn": dcqcn_params,
+            "timely": timely_params,
+            "aimd": aimd_params,
+            "dctcp": dctcp_params,
+        }.get(scheme.name)
+    return scheme.build(line_rate_bps, base_rtt_s, params=params)
+
+
+# ---------------------------------------------------------------------------
+# Built-in schemes
+# ---------------------------------------------------------------------------
+
+@register_congestion_control("none", aliases=("no_cc", "off"))
+def _make_none(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
+    return NoCongestionControl()
+
+
+@register_congestion_control("dcqcn", needs_ecn=True, wants_cnp=True)
+def _make_dcqcn(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
+    params = params or DcqcnParams(
+        alpha_timer_s=max(base_rtt_s, 5e-6),
+        rate_increase_timer_s=max(3.0 * base_rtt_s, 15e-6),
+        cnp_interval_s=max(base_rtt_s, 5e-6),
+    )
+    return Dcqcn(line_rate_bps, params)
+
+
+@register_congestion_control("timely", rtt_based=True)
+def _make_timely(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
+    params = params or TimelyParams(
+        t_low_s=1.5 * base_rtt_s,
+        t_high_s=6.0 * base_rtt_s,
+        min_rtt_s=max(base_rtt_s, 1e-6),
+    )
+    return Timely(line_rate_bps, params)
+
+
+@register_congestion_control("aimd")
+def _make_aimd(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
+    return AimdWindow(params or AimdParams())
+
+
+@register_congestion_control("dctcp", needs_ecn=True, step_marking=True)
+def _make_dctcp(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
+    return DctcpWindow(params or DctcpParams())

@@ -4,9 +4,17 @@ from repro.core.transport import Flow, BaseSender, BaseReceiver, TransportConfig
 from repro.core.irn import IrnConfig, IrnSender, IrnReceiver, LossRecovery
 from repro.core.roce import RoceConfig, RoceSender, RoceReceiver
 from repro.core.iwarp import TcpConfig, TcpSender
-from repro.core.factory import make_flow_endpoints
+from repro.core.factory import (
+    TRANSPORTS,
+    TransportKind,
+    make_flow_endpoints,
+    register_transport,
+)
 
 __all__ = [
+    "TRANSPORTS",
+    "TransportKind",
+    "register_transport",
     "Flow",
     "BaseSender",
     "BaseReceiver",

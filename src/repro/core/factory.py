@@ -1,24 +1,67 @@
-"""Factories that build matched sender/receiver pairs for a flow."""
+"""Transport registry and factories building matched sender/receiver pairs.
+
+Transports are pluggable: each variant registers an *endpoint builder* in
+:data:`TRANSPORTS` under a name, and :func:`make_flow_endpoints` (the single
+entry point the runner uses) resolves the configured transport through that
+registry.  The legacy :class:`TransportKind` enum survives as a thin alias
+layer -- its members resolve through the registry via their ``.value`` -- so
+existing configs, cache fingerprints and call sites keep working.
+
+A registered builder has the signature::
+
+    def build(sim, src_host, flow, *, irn_config=None, roce_config=None,
+              tcp_config=None, congestion_control=None, cnp_interval_s=None,
+              on_sender_complete=None, on_receiver_complete=None,
+              **extra) -> (BaseSender, BaseReceiver)
+
+Builders only read the keyword arguments they care about and must tolerate
+(ignore) the rest, so new transports can be registered from outside this
+package without changing the runner::
+
+    from repro.core import register_transport
+
+    @register_transport("my_transport")
+    def build_mine(sim, src_host, flow, *, congestion_control=None,
+                   on_sender_complete=None, on_receiver_complete=None, **_):
+        return MySender(...), MyReceiver(...)
+"""
 
 from __future__ import annotations
 
 import dataclasses
 from enum import Enum
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple, Union
 
 from repro.core.irn import IrnConfig, IrnReceiver, IrnSender, LossRecovery
 from repro.core.iwarp import TcpConfig, TcpSender
 from repro.core.roce import RoceConfig, RoceReceiver, RoceSender
 from repro.core.transport import BaseReceiver, BaseSender, Flow, FlowCallback
+from repro.registry import Registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.congestion.base import CongestionControl
     from repro.sim.engine import Simulator
     from repro.sim.host import Host
 
+#: ``(sim, src_host, flow, **options) -> (sender, receiver)``.
+EndpointBuilder = Callable[..., Tuple[BaseSender, BaseReceiver]]
+
+TRANSPORTS: Registry[EndpointBuilder] = Registry("transport")
+
+
+def register_transport(name: str, *, aliases: Sequence[str] = (), replace: bool = False):
+    """Decorator registering a transport endpoint builder under ``name``."""
+    return TRANSPORTS.register(name, aliases=aliases, replace=replace)
+
 
 class TransportKind(Enum):
-    """Transport variants evaluated in the paper."""
+    """Transport variants evaluated in the paper.
+
+    .. deprecated::
+        Kept as a thin alias layer over the :data:`TRANSPORTS` registry --
+        each member resolves through the registry via its ``.value``.  New
+        code (and new transports) should use plain string names.
+    """
 
     IRN = "irn"
     ROCE = "roce"
@@ -35,7 +78,7 @@ def make_flow_endpoints(
     sim: "Simulator",
     src_host: "Host",
     flow: Flow,
-    kind: TransportKind,
+    kind: Union[TransportKind, str],
     irn_config: Optional[IrnConfig] = None,
     roce_config: Optional[RoceConfig] = None,
     tcp_config: Optional[TcpConfig] = None,
@@ -46,27 +89,104 @@ def make_flow_endpoints(
 ) -> Tuple[BaseSender, BaseReceiver]:
     """Instantiate the sender and receiver for ``flow`` under ``kind``.
 
-    The caller is responsible for registering the returned endpoints with
-    their hosts (``src_host.register_sender`` / ``dst_host.register_receiver``);
-    the factory only needs the source host to wire the sender's NIC callbacks.
+    ``kind`` is a registered transport name (or a :class:`TransportKind`
+    member, which resolves through the registry).  The caller is responsible
+    for registering the returned endpoints with their hosts
+    (``src_host.register_sender`` / ``dst_host.register_receiver``); the
+    factory only needs the source host to wire the sender's NIC callbacks.
     """
-    if kind is TransportKind.ROCE:
-        config = roce_config or RoceConfig()
-        sender: BaseSender = RoceSender(
-            sim, src_host, flow, config,
-            congestion_control=congestion_control,
-            on_complete=on_sender_complete,
-        )
-        receiver: BaseReceiver = RoceReceiver(
-            sim, flow, config,
-            on_complete=on_receiver_complete,
-            cnp_interval_s=cnp_interval_s,
-        )
-        return sender, receiver
+    build = TRANSPORTS.get(kind)
+    return build(
+        sim,
+        src_host,
+        flow,
+        irn_config=irn_config,
+        roce_config=roce_config,
+        tcp_config=tcp_config,
+        congestion_control=congestion_control,
+        cnp_interval_s=cnp_interval_s,
+        on_sender_complete=on_sender_complete,
+        on_receiver_complete=on_receiver_complete,
+    )
 
-    if kind is TransportKind.IWARP:
-        config = tcp_config or TcpConfig()
-        sender = TcpSender(
+
+# ---------------------------------------------------------------------------
+# Built-in transports
+# ---------------------------------------------------------------------------
+
+@register_transport("roce")
+def _build_roce(
+    sim: "Simulator",
+    src_host: "Host",
+    flow: Flow,
+    *,
+    roce_config: Optional[RoceConfig] = None,
+    congestion_control: Optional["CongestionControl"] = None,
+    cnp_interval_s: Optional[float] = None,
+    on_sender_complete: Optional[FlowCallback] = None,
+    on_receiver_complete: Optional[FlowCallback] = None,
+    **_: object,
+) -> Tuple[BaseSender, BaseReceiver]:
+    config = roce_config or RoceConfig()
+    sender = RoceSender(
+        sim, src_host, flow, config,
+        congestion_control=congestion_control,
+        on_complete=on_sender_complete,
+    )
+    receiver = RoceReceiver(
+        sim, flow, config,
+        on_complete=on_receiver_complete,
+        cnp_interval_s=cnp_interval_s,
+    )
+    return sender, receiver
+
+
+@register_transport("iwarp")
+def _build_iwarp(
+    sim: "Simulator",
+    src_host: "Host",
+    flow: Flow,
+    *,
+    tcp_config: Optional[TcpConfig] = None,
+    congestion_control: Optional["CongestionControl"] = None,
+    cnp_interval_s: Optional[float] = None,
+    on_sender_complete: Optional[FlowCallback] = None,
+    on_receiver_complete: Optional[FlowCallback] = None,
+    **_: object,
+) -> Tuple[BaseSender, BaseReceiver]:
+    config = tcp_config or TcpConfig()
+    sender = TcpSender(
+        sim, src_host, flow, config,
+        congestion_control=congestion_control,
+        on_complete=on_sender_complete,
+    )
+    receiver = IrnReceiver(
+        sim, flow, config,
+        on_complete=on_receiver_complete,
+        cnp_interval_s=cnp_interval_s,
+        accept_ooo=True,
+    )
+    return sender, receiver
+
+
+def _register_irn_variant(name: str, tweak, accept_ooo: bool = True) -> None:
+    """IRN and its §4.3 factor-analysis variants share one builder body."""
+
+    @register_transport(name)
+    def _build_irn(
+        sim: "Simulator",
+        src_host: "Host",
+        flow: Flow,
+        *,
+        irn_config: Optional[IrnConfig] = None,
+        congestion_control: Optional["CongestionControl"] = None,
+        cnp_interval_s: Optional[float] = None,
+        on_sender_complete: Optional[FlowCallback] = None,
+        on_receiver_complete: Optional[FlowCallback] = None,
+        **_: object,
+    ) -> Tuple[BaseSender, BaseReceiver]:
+        config = tweak(irn_config or IrnConfig())
+        sender = IrnSender(
             sim, src_host, flow, config,
             congestion_control=congestion_control,
             on_complete=on_sender_complete,
@@ -75,33 +195,24 @@ def make_flow_endpoints(
             sim, flow, config,
             on_complete=on_receiver_complete,
             cnp_interval_s=cnp_interval_s,
-            accept_ooo=True,
+            accept_ooo=accept_ooo,
         )
         return sender, receiver
 
-    # IRN and its factor-analysis variants.
-    config = irn_config or IrnConfig()
-    if kind is TransportKind.IRN_GO_BACK_N:
-        config = dataclasses.replace(config, loss_recovery=LossRecovery.GO_BACK_N)
-    elif kind is TransportKind.IRN_NO_BDPFC:
-        config = dataclasses.replace(config, bdp_fc_enabled=False)
-    elif kind is TransportKind.IRN_NO_SACK:
-        config = dataclasses.replace(config, loss_recovery=LossRecovery.SELECTIVE_NO_SACK)
-    elif kind is not TransportKind.IRN:
-        raise ValueError(f"unsupported transport kind {kind!r}")
 
-    sender = IrnSender(
-        sim, src_host, flow, config,
-        congestion_control=congestion_control,
-        on_complete=on_sender_complete,
-    )
-    # The go-back-N variant keeps the RoCE-style receiver that discards
-    # out-of-order packets; all other variants accept them.
-    accept_ooo = kind is not TransportKind.IRN_GO_BACK_N
-    receiver = IrnReceiver(
-        sim, flow, config,
-        on_complete=on_receiver_complete,
-        cnp_interval_s=cnp_interval_s,
-        accept_ooo=accept_ooo,
-    )
-    return sender, receiver
+_register_irn_variant("irn", lambda config: config)
+# The go-back-N variant keeps the RoCE-style receiver that discards
+# out-of-order packets; all other variants accept them.
+_register_irn_variant(
+    "irn_go_back_n",
+    lambda config: dataclasses.replace(config, loss_recovery=LossRecovery.GO_BACK_N),
+    accept_ooo=False,
+)
+_register_irn_variant(
+    "irn_no_bdpfc",
+    lambda config: dataclasses.replace(config, bdp_fc_enabled=False),
+)
+_register_irn_variant(
+    "irn_no_sack",
+    lambda config: dataclasses.replace(config, loss_recovery=LossRecovery.SELECTIVE_NO_SACK),
+)

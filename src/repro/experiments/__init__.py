@@ -9,6 +9,12 @@ from repro.experiments.config import (
 )
 from repro.experiments.results import ResultRow
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.spec import (
+    SCENARIOS,
+    ScenarioSpec,
+    register_scenario,
+    scenario,
+)
 from repro.experiments.sweep import (
     ParameterGrid,
     ResultCache,
@@ -26,6 +32,10 @@ __all__ = [
     "WorkloadKind",
     "ExperimentResult",
     "ResultRow",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario",
     "ParameterGrid",
     "ResultCache",
     "SweepResult",

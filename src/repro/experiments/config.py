@@ -3,7 +3,18 @@
 An :class:`ExperimentConfig` fully describes one simulation run: topology,
 switch/PFC settings, transport, congestion control, workload and the IRN
 parameters under study.  Presets for the paper's scenarios live in
-:mod:`repro.experiments.scenarios`.
+:mod:`repro.experiments.scenarios` (declarative :class:`ScenarioSpec` data in
+the ``SCENARIOS`` registry).
+
+The component fields (``topology``, ``transport``, ``congestion_control``,
+``workload``) name entries in the corresponding registries
+(:data:`repro.topology.TOPOLOGIES`, :data:`repro.core.factory.TRANSPORTS`,
+:data:`repro.congestion.factory.CONGESTION_SCHEMES`,
+:data:`repro.workload.WORKLOADS`).  They accept either a plain string -- the
+open, pluggable surface -- or one of the legacy kind enums below, which are
+kept as thin aliases: a string matching an enum value is normalized to the
+enum member, and both serialize identically, so config fingerprints (and
+therefore warm sweep caches) are unaffected by which spelling a caller uses.
 """
 
 from __future__ import annotations
@@ -12,11 +23,14 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, replace
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
-from repro.core.factory import TransportKind
+from repro.congestion.factory import CONGESTION_SCHEMES
+from repro.core.factory import TRANSPORTS, TransportKind
 from repro.sim.pfc import PfcConfig, headroom_for_link
 from repro.sim.switch import EcnConfig, SwitchConfig
+from repro.topology import TOPOLOGIES
+from repro.workload import WORKLOADS
 from repro.topology.fattree import FatTreeParams
 from repro.workload.distributions import (
     FixedSizes,
@@ -28,7 +42,13 @@ from repro.workload.incast import IncastParams
 
 
 class CongestionControl(Enum):
-    """Explicit congestion-control schemes evaluated in the paper."""
+    """Congestion-control schemes evaluated in the paper.
+
+    .. deprecated::
+        Thin alias over the congestion-control registry; members resolve
+        through it via their ``.value``.  Use plain string names for schemes
+        registered outside :mod:`repro.congestion`.
+    """
 
     NONE = "none"
     TIMELY = "timely"
@@ -38,7 +58,12 @@ class CongestionControl(Enum):
 
 
 class TopologyKind(Enum):
-    """Topology families supported by the harness."""
+    """Topology families shipped with the harness.
+
+    .. deprecated::
+        Thin alias over :data:`repro.topology.TOPOLOGIES`; members resolve
+        through the registry via their ``.value``.
+    """
 
     FAT_TREE = "fat_tree"
     STAR = "star"
@@ -47,12 +72,47 @@ class TopologyKind(Enum):
 
 
 class WorkloadKind(Enum):
-    """Workload families from the paper's evaluation."""
+    """Workload families from the paper's evaluation.
+
+    .. deprecated::
+        Thin alias over :data:`repro.workload.WORKLOADS`; members resolve
+        through the registry via their ``.value``.
+    """
 
     HEAVY_TAILED = "heavy_tailed"
     UNIFORM = "uniform"
     FIXED = "fixed"
     NONE = "none"
+
+
+def _coerce_kind(value: Union[str, Enum], enum_cls, registry) -> Union[str, Enum]:
+    """Normalize a component name so every spelling of one component
+    serializes (and therefore fingerprints and aggregates) identically:
+    registry aliases resolve to their canonical name (``"off"`` ->
+    ``"none"``), case folds like registry keys, and strings matching an
+    enum value become the enum member (so identity checks like
+    ``config.transport is TransportKind.IRN`` keep working).  Unknown
+    strings -- components registered later -- pass through lowercased."""
+    if isinstance(value, (str, Enum)):
+        value = registry.canonical_name(value)
+        try:
+            return enum_cls(value)
+        except ValueError:
+            return value
+    return value
+
+
+def _kind_name(value: Union[str, Enum]) -> str:
+    """The registry name of a component field (enum member or string)."""
+    return value.value if isinstance(value, Enum) else value
+
+
+#: Config fields that never influence the physics of a run and are therefore
+#: excluded from the canonical serialization (and the fingerprint): ``name``
+#: is cosmetic, and ``keep_flow_records`` only controls whether per-flow
+#: records are materialized in memory (the streaming digests that populate
+#: :class:`~repro.experiments.results.ResultRow` are kept either way).
+_NON_PHYSICAL_FIELDS = ("name", "keep_flow_records")
 
 
 @dataclass
@@ -62,7 +122,7 @@ class ExperimentConfig:
     name: str = "default"
 
     # --- topology ---------------------------------------------------------
-    topology: TopologyKind = TopologyKind.FAT_TREE
+    topology: Union[TopologyKind, str] = TopologyKind.FAT_TREE
     fat_tree_k: int = 4
     num_hosts: int = 8            # used by star/dumbbell topologies
     link_bandwidth_bps: float = 10e9
@@ -76,7 +136,7 @@ class ExperimentConfig:
     pfc_headroom_bytes: Optional[int] = None
 
     # --- transport ------------------------------------------------------------
-    transport: TransportKind = TransportKind.IRN
+    transport: Union[TransportKind, str] = TransportKind.IRN
     mtu_bytes: int = 1000
     header_bytes: int = 48
     #: IRN timeouts.  ``None`` derives them with the paper's rule (§4.1):
@@ -94,10 +154,10 @@ class ExperimentConfig:
     worst_case_overheads: bool = False
 
     # --- congestion control ------------------------------------------------------
-    congestion_control: CongestionControl = CongestionControl.NONE
+    congestion_control: Union[CongestionControl, str] = CongestionControl.NONE
 
     # --- workload ------------------------------------------------------------------
-    workload: WorkloadKind = WorkloadKind.HEAVY_TAILED
+    workload: Union[WorkloadKind, str] = WorkloadKind.HEAVY_TAILED
     target_load: float = 0.7
     num_flows: int = 200
     #: Scale factor applied to the medium/large bands of the heavy-tailed mix
@@ -114,6 +174,40 @@ class ExperimentConfig:
     max_sim_time_s: Optional[float] = 5.0
     #: Safety valve on the number of processed events.
     max_events: Optional[int] = 50_000_000
+    #: Materialize per-flow :class:`~repro.metrics.collector.FlowMetrics`
+    #: records during the run.  ``False`` keeps only the O(1) streaming
+    #: accumulators and digests -- the memory-safe setting for million-flow
+    #: scenarios.  Execution knob only: excluded from the fingerprint.
+    keep_flow_records: bool = True
+
+    def __post_init__(self) -> None:
+        self.topology = _coerce_kind(self.topology, TopologyKind, TOPOLOGIES)
+        self.transport = _coerce_kind(self.transport, TransportKind, TRANSPORTS)
+        self.congestion_control = _coerce_kind(
+            self.congestion_control, CongestionControl, CONGESTION_SCHEMES
+        )
+        self.workload = _coerce_kind(self.workload, WorkloadKind, WORKLOADS)
+        if isinstance(self.incast, dict):
+            self.incast = IncastParams(**self.incast)
+
+    # ------------------------------------------------------------------
+    # Component registry names
+    # ------------------------------------------------------------------
+    @property
+    def topology_name(self) -> str:
+        return _kind_name(self.topology)
+
+    @property
+    def transport_name(self) -> str:
+        return _kind_name(self.transport)
+
+    @property
+    def congestion_control_name(self) -> str:
+        return _kind_name(self.congestion_control)
+
+    @property
+    def workload_name(self) -> str:
+        return _kind_name(self.workload)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -126,13 +220,8 @@ class ExperimentConfig:
         )
 
     def max_hop_count(self) -> int:
-        if self.topology is TopologyKind.FAT_TREE:
-            return FatTreeParams(k=self.fat_tree_k).max_hop_count
-        if self.topology is TopologyKind.STAR:
-            return 2
-        if self.topology is TopologyKind.DUMBBELL:
-            return 3
-        return 4
+        """Longest-path hop count, from the registered topology's metadata."""
+        return TOPOLOGIES.get(self.topology).max_hop_count(self)
 
     def base_rtt_s(self) -> float:
         """Unloaded round-trip propagation time of the longest path."""
@@ -162,11 +251,7 @@ class ExperimentConfig:
 
     def switch_radix(self) -> int:
         """Number of ports per switch (bounds how many inputs feed one output)."""
-        if self.topology is TopologyKind.FAT_TREE:
-            return self.fat_tree_k
-        if self.topology is TopologyKind.STAR:
-            return self.num_hosts
-        return 4
+        return TOPOLOGIES.get(self.topology).switch_radix(self)
 
     def effective_rto_high_s(self) -> float:
         """RTO_high per the paper's rule: longest-path propagation plus the
@@ -191,20 +276,26 @@ class ExperimentConfig:
             return self.header_bytes + 16
         return self.header_bytes
 
+    def congestion_scheme(self):
+        """The registered :class:`~repro.congestion.factory.CongestionScheme`."""
+        return CONGESTION_SCHEMES.get(self.congestion_control)
+
     def switch_config(self) -> SwitchConfig:
-        """Build the per-switch configuration implied by this experiment."""
+        """Build the per-switch configuration implied by this experiment.
+
+        ECN marking follows the registered scheme's declared needs (DCQCN and
+        DCTCP among the built-ins), not a hard-coded enum check, so schemes
+        registered by third parties get marked traffic automatically.
+        """
         buffer_bytes = self.effective_buffer_bytes()
-        ecn_enabled = self.congestion_control in (
-            CongestionControl.DCQCN,
-            CongestionControl.DCTCP,
-        )
+        scheme = self.congestion_scheme()
         bdp = max(1, self.bdp_bytes())
         ecn = EcnConfig(
-            enabled=ecn_enabled,
+            enabled=scheme.needs_ecn,
             kmin_bytes=max(self.mtu_bytes, bdp // 4),
             kmax_bytes=max(2 * self.mtu_bytes, bdp),
             pmax=0.2,
-            step_marking=self.congestion_control is CongestionControl.DCTCP,
+            step_marking=scheme.step_marking,
         )
         pfc = PfcConfig(
             enabled=self.pfc_enabled,
@@ -217,7 +308,11 @@ class ExperimentConfig:
         )
 
     def size_distribution(self) -> Optional[FlowSizeDistribution]:
-        """The flow-size distribution for the background workload."""
+        """The flow-size distribution for the built-in background workloads.
+
+        Custom registered workloads build their own flow lists; for them (and
+        for ``"none"``) this returns ``None``.
+        """
         if self.workload is WorkloadKind.HEAVY_TAILED:
             return HeavyTailedSizes(scale=self.flow_size_scale)
         if self.workload is WorkloadKind.UNIFORM:
@@ -237,15 +332,17 @@ class ExperimentConfig:
     def to_canonical_dict(self) -> Dict[str, Any]:
         """All simulation-relevant fields as JSON-safe values, stably ordered.
 
-        Enums collapse to their ``.value`` and nested dataclasses (e.g.
+        Enums collapse to their ``.value`` (identical to the plain-string
+        spelling of the same component) and nested dataclasses (e.g.
         :class:`IncastParams`) to sorted dicts, so two configs that would run
         identical simulations serialize identically across processes and
-        Python versions.  The cosmetic ``name`` field is excluded: it never
-        influences a run, and including it would make renamed presets miss
-        the sweep cache for physically identical simulations.
+        Python versions.  Fields in :data:`_NON_PHYSICAL_FIELDS` are
+        excluded: they never influence a run's physics, and including them
+        would make physically identical simulations miss the sweep cache.
         """
         payload = asdict(self)
-        del payload["name"]
+        for field_name in _NON_PHYSICAL_FIELDS:
+            del payload[field_name]
         return _canonical(payload)
 
     def fingerprint(self) -> str:

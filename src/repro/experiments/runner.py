@@ -14,29 +14,23 @@ use.  It translates an :class:`ExperimentConfig` into a concrete simulation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.congestion.factory import make_congestion_control
-from repro.core.factory import TransportKind, make_flow_endpoints
+from repro.core.factory import make_flow_endpoints
 from repro.core.irn import IrnConfig
 from repro.core.iwarp import TcpConfig
 from repro.core.roce import RoceConfig
 from repro.core.transport import BaseReceiver, BaseSender, Flow
-from repro.experiments.config import (
-    CongestionControl,
-    ExperimentConfig,
-    TopologyKind,
-    WorkloadKind,
-)
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.stats import MetricSummary
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.topology.fattree import build_fat_tree
-from repro.topology.simple import build_dumbbell, build_parking_lot, build_star
-from repro.workload.generator import PoissonWorkload, WorkloadParams
+from repro.topology import TOPOLOGIES
+from repro.workload import WORKLOADS
 from repro.workload.incast import build_incast_flows, request_completion_time
 
 
@@ -100,6 +94,7 @@ class _FlowLauncher:
         self.collector = collector
         self.senders: List[BaseSender] = []
         self.receivers: List[BaseReceiver] = []
+        self._scheme = config.congestion_scheme()
         self._irn_config = self._build_irn_config()
         self._roce_config = self._build_roce_config()
         self._tcp_config = self._build_tcp_config()
@@ -127,9 +122,10 @@ class _FlowLauncher:
         cfg = self.config
         # With PFC the paper's RoCE baseline sends no ACKs and disables
         # timeouts; without PFC it uses a fixed RTO_high and needs ACKs for
-        # go-back-N progress.  Timely additionally needs per-packet RTT
-        # samples, hence ACKs, regardless of PFC.
-        needs_acks = (not cfg.pfc_enabled) or cfg.congestion_control is CongestionControl.TIMELY
+        # go-back-N progress.  RTT-based schemes (Timely among the built-ins)
+        # additionally need per-packet RTT samples, hence ACKs, regardless
+        # of PFC.
+        needs_acks = (not cfg.pfc_enabled) or self._scheme.rtt_based
         return RoceConfig(
             mtu_bytes=cfg.mtu_bytes,
             header_bytes=cfg.header_bytes,
@@ -152,16 +148,16 @@ class _FlowLauncher:
         )
 
     def _cnp_interval_s(self) -> Optional[float]:
-        if self.config.congestion_control is CongestionControl.DCQCN:
+        if self._scheme.wants_cnp:
             return max(self.config.base_rtt_s(), 5e-6)
         return None
 
     def _make_cc(self):
         cfg = self.config
-        if cfg.congestion_control is CongestionControl.NONE:
+        if cfg.congestion_control_name == "none":
             return None
         return make_congestion_control(
-            cfg.congestion_control.value,
+            cfg.congestion_control_name,
             line_rate_bps=cfg.link_bandwidth_bps,
             base_rtt_s=cfg.base_rtt_s() + 8.0 * cfg.mtu_bytes * cfg.max_hop_count() / cfg.link_bandwidth_bps,
         )
@@ -196,44 +192,16 @@ class _FlowLauncher:
 
 
 def _build_network(sim: Simulator, config: ExperimentConfig) -> Network:
-    switch_config = config.switch_config()
-    if config.topology is TopologyKind.FAT_TREE:
-        return build_fat_tree(sim, config.fat_tree_params(), switch_config)
-    if config.topology is TopologyKind.STAR:
-        return build_star(
-            sim, config.num_hosts, config.link_bandwidth_bps, config.link_delay_s, switch_config
-        )
-    if config.topology is TopologyKind.DUMBBELL:
-        return build_dumbbell(
-            sim,
-            max(1, config.num_hosts // 2),
-            config.link_bandwidth_bps,
-            link_delay_s=config.link_delay_s,
-            switch_config=switch_config,
-        )
-    if config.topology is TopologyKind.PARKING_LOT:
-        return build_parking_lot(
-            sim,
-            bandwidth_bps=config.link_bandwidth_bps,
-            link_delay_s=config.link_delay_s,
-            switch_config=switch_config,
-        )
-    raise ValueError(f"unsupported topology {config.topology!r}")
+    """Resolve the configured topology through the registry and build it."""
+    builder = TOPOLOGIES.get(config.topology)
+    return builder.build(sim, config, config.switch_config())
 
 
 def _generate_flows(config: ExperimentConfig, network: Network) -> List[Flow]:
-    flows: List[Flow] = []
+    """Resolve the configured workload through the registry; add the incast."""
     hosts = list(network.hosts.keys())
-    sizes = config.size_distribution()
-    if config.workload is not WorkloadKind.NONE and config.num_flows > 0 and sizes is not None:
-        params = WorkloadParams(
-            target_load=config.target_load,
-            link_bandwidth_bps=config.link_bandwidth_bps,
-            sizes=sizes,
-            num_flows=config.num_flows,
-            seed=config.seed,
-        )
-        flows.extend(PoissonWorkload(params, hosts).generate(first_flow_id=0))
+    generate = WORKLOADS.get(config.workload)
+    flows: List[Flow] = list(generate(config, hosts))
     if config.incast is not None:
         flows.extend(
             build_incast_flows(config.incast, hosts, first_flow_id=len(flows) + 1_000_000)
@@ -248,7 +216,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     sim = Simulator(seed=config.seed)
     network = _build_network(sim, config)
     collector = MetricsCollector(
-        network, mtu_bytes=config.mtu_bytes, header_bytes=config.effective_header_bytes()
+        network,
+        mtu_bytes=config.mtu_bytes,
+        header_bytes=config.effective_header_bytes(),
+        keep_records=config.keep_flow_records,
     )
     launcher = _FlowLauncher(sim, network, config, collector)
     flows = _generate_flows(config, network)

@@ -65,7 +65,7 @@ from typing import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
 from repro.metrics.sketch import merge_digest_dicts
-from repro.metrics.stats import mean, percentile
+from repro.metrics.stats import ci95_half_width, mean, percentile, stderr
 
 #: Bumped whenever the ``ResultRow`` schema or run semantics change in a way
 #: that invalidates previously cached rows.  (2: rows carry quantile-digest
@@ -351,9 +351,15 @@ def run_sweep(
     for label, config in cells:
         cached = cache.get(config) if cache is not None else None
         if cached is not None:
-            # Re-label: the cache stores the row under the label of whichever
-            # sweep first computed it.
-            rows[label] = ResultRow.from_dict({**cached.to_dict(), "label": label})
+            # Rebind the identity fields the fingerprint deliberately ignores:
+            # the cache stores the row under the label *and* config name of
+            # whichever sweep first computed it, and a fingerprint-identical
+            # cell in another scenario may use different ones.  `name` groups
+            # aggregation cells, so serving a foreign stale name would split
+            # or merge aggregates.
+            rows[label] = ResultRow.from_dict(
+                {**cached.to_dict(), "label": label, "name": config.name}
+            )
             cache_hits += 1
         else:
             pending.append((label, config))
@@ -433,9 +439,11 @@ def aggregate_rows(
 
     Rows sharing the ``by`` fields form one cell.  Each output record holds
     the ``by`` columns, the replica count and seed list, ``<metric>_mean`` /
-    ``<metric>_p99`` for the three headline metrics, ``drop_rate_mean`` and
-    summed fabric counters -- plain scalars throughout, so records compare
-    directly in tests.
+    ``<metric>_p99`` for the three headline metrics -- plus
+    ``<metric>_stderr`` (standard error of the mean over replicas) and
+    ``<metric>_ci95`` (the t-based 95% confidence half-width, 0.0 with a
+    single replica) -- ``drop_rate_mean`` and summed fabric counters: plain
+    scalars throughout, so records compare directly in tests.
 
     When the member rows carry quantile digests, those digests are *merged*
     across replicas and the record additionally reports true pooled-
@@ -464,6 +472,8 @@ def aggregate_rows(
             values = [getattr(row, metric) for row in members]
             record[f"{metric}_mean"] = mean(values)
             record[f"{metric}_p99"] = percentile(values, 0.99)
+            record[f"{metric}_stderr"] = stderr(values)
+            record[f"{metric}_ci95"] = ci95_half_width(values)
         record["drop_rate_mean"] = mean([row.drop_rate for row in members])
         for counter in _SUMMED_COUNTERS:
             record[f"{counter}_total"] = sum(getattr(row, counter) for row in members)

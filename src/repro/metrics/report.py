@@ -86,15 +86,18 @@ def format_aggregate_table(
     """Render :func:`~repro.experiments.sweep.aggregate_rows` output.
 
     One line per parameter cell: the grouping columns, replica count, the
-    three headline means, and -- when the rows carried digests -- the pooled
-    p99/p99.9 FCT over every flow of every replica.
+    headline means with their t-based 95% confidence half-widths (``+-``
+    columns, 0 when the cell has a single replica), and -- when the rows
+    carried digests -- the pooled p99/p99.9 FCT over every flow of every
+    replica.
     """
     lines = [
-        f"{'cell':<40} {'reps':>4} {'avg slowdown':>13} {'avg FCT (ms)':>13} "
+        f"{'cell':<40} {'reps':>4} {'avg slowdown':>13} {'+-95%':>8} "
+        f"{'avg FCT (ms)':>13} {'+-95%':>8} "
         f"{'p99 FCT (ms)':>13} {'p99.9 (ms)':>11} {'flows':>7}"
     ]
     computed = {"replicas", "seeds", "single_packet_flows"}
-    computed_suffixes = ("_mean", "_p99", "_total", "_s")
+    computed_suffixes = ("_mean", "_p99", "_total", "_s", "_stderr", "_ci95")
     for record in records:
         keys = label_keys
         if keys is None:
@@ -110,7 +113,9 @@ def format_aggregate_table(
         pooled_p999 = record.get("fct_p999_s")
         lines.append(
             f"{label:<40} {record['replicas']:>4d} {record['avg_slowdown_mean']:>13.2f} "
+            f"{record.get('avg_slowdown_ci95', 0.0):>8.2f} "
             f"{record['avg_fct_s_mean'] * 1e3:>13.4f} "
+            f"{record.get('avg_fct_s_ci95', 0.0) * 1e3:>8.4f} "
             f"{pooled_p99 * 1e3 if pooled_p99 is not None else float('nan'):>13.4f} "
             f"{pooled_p999 * 1e3 if pooled_p999 is not None else float('nan'):>11.4f} "
             f"{record.get('num_flows_total', 0):>7d}"

@@ -1,5 +1,20 @@
-"""Topology builders used by the paper's evaluation and by the test suite."""
+"""Topology builders used by the paper's evaluation and by the test suite.
 
+Topologies are pluggable: every family registers itself in
+:data:`TOPOLOGIES` under a name, and the experiment layer resolves
+``ExperimentConfig.topology`` through that registry.  Register a new family
+with :func:`register_topology` -- no engine module needs editing::
+
+    from repro.topology import register_topology
+
+    @register_topology("ring", max_hop_count=4, switch_radix=4)
+    def build_ring(sim, config, switch_config):
+        network = Network(sim)
+        ...
+        return network
+"""
+
+from repro.topology.registry import TOPOLOGIES, TopologyBuilder, register_topology
 from repro.topology.fattree import FatTreeParams, build_fat_tree
 from repro.topology.simple import (
     build_dumbbell,
@@ -8,6 +23,9 @@ from repro.topology.simple import (
 )
 
 __all__ = [
+    "TOPOLOGIES",
+    "TopologyBuilder",
+    "register_topology",
     "FatTreeParams",
     "build_fat_tree",
     "build_dumbbell",

@@ -148,3 +148,27 @@ def build_fat_tree(
 
     network.build_routing()
     return network
+
+
+# ---------------------------------------------------------------------------
+# Registry entry
+# ---------------------------------------------------------------------------
+from repro.topology.registry import register_topology  # noqa: E402
+
+
+@register_topology(
+    "fat_tree",
+    max_hop_count=lambda config: FatTreeParams(k=config.fat_tree_k).max_hop_count,
+    switch_radix=lambda config: config.fat_tree_k,
+)
+def _build_fat_tree_from_config(sim: "Simulator", config, switch_config) -> Network:
+    """Registry adapter: derive :class:`FatTreeParams` from an experiment config."""
+    return build_fat_tree(
+        sim,
+        FatTreeParams(
+            k=config.fat_tree_k,
+            link_bandwidth_bps=config.link_bandwidth_bps,
+            link_delay_s=config.link_delay_s,
+        ),
+        switch_config,
+    )

@@ -1,0 +1,81 @@
+"""The topology registry: name -> :class:`TopologyBuilder`.
+
+A registered topology is a builder callable plus the two pieces of metadata
+:class:`~repro.experiments.config.ExperimentConfig` needs to derive RTOs,
+buffer sizes and the BDP cap without hard-coding per-topology branches:
+
+* ``max_hop_count(config)`` -- hops on the longest host-to-host path;
+* ``switch_radix(config)`` -- ports per switch (bounds how many inputs can
+  congest one output, which sizes RTO_high).
+
+Builders take ``(sim, config, switch_config)`` and return a wired
+:class:`~repro.sim.network.Network`; ``config`` is duck-typed (any object
+with the fields the builder reads), so this module never imports the
+experiment layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence, Union
+
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.network import Network
+    from repro.sim.switch import SwitchConfig
+
+__all__ = ["TOPOLOGIES", "TopologyBuilder", "register_topology"]
+
+#: Either a constant or a per-config derivation of a topology property.
+ConfigMetric = Union[int, Callable[[Any], int]]
+
+
+def _as_metric(value: ConfigMetric) -> Callable[[Any], int]:
+    if callable(value):
+        return value
+    return lambda config, _value=value: _value
+
+
+@dataclass(frozen=True)
+class TopologyBuilder:
+    """A buildable topology family plus the metadata the config layer needs."""
+
+    name: str
+    build: Callable[["Simulator", Any, "SwitchConfig"], "Network"]
+    max_hop_count: Callable[[Any], int]
+    switch_radix: Callable[[Any], int]
+
+    def __call__(self, sim: "Simulator", config: Any, switch_config: "SwitchConfig") -> "Network":
+        return self.build(sim, config, switch_config)
+
+
+TOPOLOGIES: Registry[TopologyBuilder] = Registry("topology")
+
+
+def register_topology(
+    name: str,
+    *,
+    max_hop_count: ConfigMetric,
+    switch_radix: ConfigMetric = 4,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``(sim, config, switch_config) -> Network`` builder."""
+
+    def decorator(build: Callable) -> Callable:
+        TOPOLOGIES.register(
+            name,
+            TopologyBuilder(
+                name=name,
+                build=build,
+                max_hop_count=_as_metric(max_hop_count),
+                switch_radix=_as_metric(switch_radix),
+            ),
+            aliases=aliases,
+            replace=replace,
+        )
+        return build
+
+    return decorator

@@ -101,3 +101,45 @@ def build_parking_lot(
             host_index += 1
     network.build_routing()
     return network
+
+
+# ---------------------------------------------------------------------------
+# Registry entries (the experiment layer resolves topologies by name)
+# ---------------------------------------------------------------------------
+from repro.topology.registry import register_topology  # noqa: E402
+
+
+@register_topology(
+    "star",
+    max_hop_count=2,
+    switch_radix=lambda config: config.num_hosts,
+)
+def _build_star_from_config(sim: "Simulator", config, switch_config) -> Network:
+    return build_star(
+        sim,
+        config.num_hosts,
+        config.link_bandwidth_bps,
+        config.link_delay_s,
+        switch_config,
+    )
+
+
+@register_topology("dumbbell", max_hop_count=3, switch_radix=4)
+def _build_dumbbell_from_config(sim: "Simulator", config, switch_config) -> Network:
+    return build_dumbbell(
+        sim,
+        max(1, config.num_hosts // 2),
+        config.link_bandwidth_bps,
+        link_delay_s=config.link_delay_s,
+        switch_config=switch_config,
+    )
+
+
+@register_topology("parking_lot", max_hop_count=4, switch_radix=4)
+def _build_parking_lot_from_config(sim: "Simulator", config, switch_config) -> Network:
+    return build_parking_lot(
+        sim,
+        bandwidth_bps=config.link_bandwidth_bps,
+        link_delay_s=config.link_delay_s,
+        switch_config=switch_config,
+    )

@@ -1,5 +1,11 @@
-"""Workload generation: flow-size distributions, Poisson arrivals, incast."""
+"""Workload generation: flow-size distributions, Poisson arrivals, incast.
 
+Workloads are pluggable: each background traffic pattern registers itself in
+:data:`WORKLOADS` (see :func:`register_workload`), and the experiment runner
+resolves ``ExperimentConfig.workload`` through that registry by name.
+"""
+
+from repro.workload.registry import WORKLOADS, register_workload
 from repro.workload.distributions import (
     FlowSizeDistribution,
     HeavyTailedSizes,
@@ -10,6 +16,8 @@ from repro.workload.generator import PoissonWorkload, WorkloadParams
 from repro.workload.incast import IncastParams, build_incast_flows
 
 __all__ = [
+    "WORKLOADS",
+    "register_workload",
     "FlowSizeDistribution",
     "HeavyTailedSizes",
     "UniformSizes",

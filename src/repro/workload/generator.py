@@ -89,3 +89,47 @@ class PoissonWorkload:
         while dst == src:
             dst = self.rng.choice(self.hosts)
         return dst
+
+
+# ---------------------------------------------------------------------------
+# Registry entries (the runner resolves ``ExperimentConfig.workload`` by name)
+# ---------------------------------------------------------------------------
+from repro.workload.distributions import FixedSizes, UniformSizes  # noqa: E402
+from repro.workload.registry import register_workload  # noqa: E402
+
+
+def _poisson_flows(config, hosts: Sequence[str], sizes: FlowSizeDistribution) -> List[Flow]:
+    """Shared Poisson-arrival body of the built-in background workloads."""
+    if config.num_flows <= 0:
+        return []
+    params = WorkloadParams(
+        target_load=config.target_load,
+        link_bandwidth_bps=config.link_bandwidth_bps,
+        sizes=sizes,
+        num_flows=config.num_flows,
+        seed=config.seed,
+    )
+    return PoissonWorkload(params, hosts).generate(first_flow_id=0)
+
+
+@register_workload("heavy_tailed")
+def _heavy_tailed_workload(config, hosts: Sequence[str]) -> List[Flow]:
+    return _poisson_flows(config, hosts, HeavyTailedSizes(scale=config.flow_size_scale))
+
+
+@register_workload("uniform")
+def _uniform_workload(config, hosts: Sequence[str]) -> List[Flow]:
+    return _poisson_flows(
+        config, hosts, UniformSizes(config.uniform_low_bytes, config.uniform_high_bytes)
+    )
+
+
+@register_workload("fixed")
+def _fixed_workload(config, hosts: Sequence[str]) -> List[Flow]:
+    return _poisson_flows(config, hosts, FixedSizes(config.fixed_size_bytes))
+
+
+@register_workload("none")
+def _no_background_workload(config, hosts: Sequence[str]) -> List[Flow]:
+    """No background traffic (incast-only experiments)."""
+    return []

@@ -255,6 +255,23 @@ class TestResultCache:
         assert retry.cache_hits == 1
         assert retry.runs_executed == 1
 
+    def test_cache_hit_rebinds_name_and_label(self, tmp_path):
+        # `name` is excluded from the fingerprint, so a fingerprint-identical
+        # cell in another scenario may carry a different name.  Names group
+        # aggregation cells: a hit must serve the *requesting* config's name
+        # (and label), not whichever sweep first computed the row.
+        cache = ResultCache(tmp_path / "cache")
+        first = tiny_config(name="scenario-a|cell")
+        run_sweep({"a": first}, workers=1, cache=cache)
+        second = tiny_config(name="scenario-b|cell")
+        assert first.fingerprint() == second.fingerprint()
+        redo = run_sweep({"b": second}, workers=1, cache=cache)
+        assert redo.cache_hits == 1 and redo.runs_executed == 0
+        assert redo["b"].label == "b"
+        assert redo["b"].name == "scenario-b|cell"
+        (record,) = aggregate_rows(redo.rows.values(), by=("name",))
+        assert record["name"] == "scenario-b|cell"
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         config = tiny_config()
@@ -327,6 +344,33 @@ class TestAggregation:
     def test_unknown_group_field_rejected(self):
         with pytest.raises(ValueError, match="unknown ResultRow field"):
             aggregate_rows([], by=("nope",))
+
+    def test_stderr_and_ci95_columns(self):
+        from repro.metrics.stats import ci95_half_width, stderr
+
+        rows = list(run_sweep(tiny_grid(), workers=2).rows.values())
+        table = aggregate_rows(rows, by=("transport", "pfc_enabled"))
+        cell = next(
+            record for record in table
+            if record["transport"] == "irn" and record["pfc_enabled"] is False
+        )
+        members = [row.avg_slowdown for row in rows
+                   if row.transport == "irn" and not row.pfc_enabled]
+        assert cell["avg_slowdown_stderr"] == pytest.approx(stderr(members))
+        assert cell["avg_slowdown_ci95"] == pytest.approx(ci95_half_width(members))
+        # With 3 replicas the t multiplier is 4.303 (df=2), not 1.96.
+        assert cell["avg_slowdown_ci95"] == pytest.approx(
+            4.303 * cell["avg_slowdown_stderr"]
+        )
+        for metric in ("avg_slowdown", "avg_fct_s", "tail_fct_s"):
+            assert cell[f"{metric}_stderr"] >= 0.0
+            assert cell[f"{metric}_ci95"] >= cell[f"{metric}_stderr"]
+
+    def test_single_replica_has_zero_ci(self):
+        row = run_experiment(tiny_config()).to_row()
+        (record,) = aggregate_rows([row], by=("transport",))
+        assert record["avg_slowdown_stderr"] == 0.0
+        assert record["avg_slowdown_ci95"] == 0.0
 
     def test_digests_merge_into_pooled_percentiles(self):
         from repro.metrics.sketch import QuantileDigest
