@@ -42,11 +42,10 @@ AnyResult = Union[ResultRow, ExperimentResult]
 #: Flow count used by benchmark scenarios (smaller than the library default
 #: so the full suite of ~20 benchmarks finishes in minutes).
 BENCH_FLOWS = 120
-#: Seed shared by all benchmark scenarios.
-BENCH_SEED = 1
-#: Seed axis used by the multi-replica benchmarks (fig1/fig2/fig10).
-#: fig8/table6/table9 instead take their replica axis from the spec-level
-#: ``seeds`` field (``scenario(name).seeds``) via ``spec.replicated()``.
+#: Seed axis shared by every simulation benchmark.  Flat-scenario benchmarks
+#: expand it with :func:`seed_replicas`; row/table benchmarks take the same
+#: axis from the spec-level ``seeds`` field (``scenario(name).seeds``) via
+#: ``spec.replicated()`` -- every registered scenario now carries (1, 2, 3).
 BENCH_SEEDS = (1, 2, 3)
 
 

@@ -1,21 +1,39 @@
 #!/usr/bin/env python3
-"""Event-loop throughput measurement (not a pytest benchmark).
+"""Engine throughput suite (not a pytest benchmark).
 
-Reports events per second for two workloads:
+Measures events per second of the discrete-event engine on five workloads,
+each run under **both** scheduler cores (``queue="heap"`` and the default
+``queue="calendar"``), so every report carries a machine-independent
+*speedup ratio* alongside the absolute rates:
 
-* ``churn``   -- a synthetic self-rescheduling event chain with a realistic
-  fraction of cancelled timers (the pattern transports create: every data
-  packet schedules an RTO that is almost always cancelled by its ACK).
-* ``macro``   -- one full ``run_experiment`` of the scaled-down Figure 1
-  scenario, measuring end-to-end simulator throughput.
+* ``churn``      -- a synthetic self-rescheduling event chain plus the
+  transports' set-then-cancel retransmission-timer pattern (3 cancelled
+  320us wheel timers per executed event).  Pure engine, no fabric.
+* ``saturated``  -- RoCE-over-PFC fixed-size flows driving a star fabric at
+  saturation: long busy periods, the departure-batching fast path.
+* ``incast``     -- a 30-to-1 incast request on PFC (Figure 9's regime):
+  synchronized arrivals, deep queues, pause/resume storms.
+* ``irn_timer``  -- IRN on a lossy fabric at high load: NACK-driven
+  recovery, per-packet RTO arm/cancel, the timer-wheel's home turf.
+* ``macro``      -- one full scaled-down Figure 1 IRN run, the end-to-end
+  number the ROADMAP tracks.
+
+Both cores execute identical event streams (asserted after every run), so
+the per-workload events/s values are directly comparable.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/perf_engine.py [--json BENCH_xxx.json]
+    PYTHONPATH=src python benchmarks/perf_engine.py [--json BENCH_engine.json]
+        [--check benchmarks/BENCH_baseline.json] [--tolerance 0.25]
+        [--update-baseline benchmarks/BENCH_baseline.json]
 
-``--json`` additionally writes the rates (plus interpreter/platform metadata)
-to a JSON file; CI uploads one per build as an artifact so the engine's
-throughput trajectory accumulates across commits.
+``--json`` writes all rates plus interpreter/platform metadata; CI uploads
+one per build as an artifact so the engine's throughput trajectory
+accumulates across commits.  ``--check`` compares the measured
+calendar/heap speedups against a checked-in baseline and exits non-zero on
+a regression beyond ``--tolerance`` (default 25%); ratios, not absolute
+rates, are guarded because CI machines differ while the two cores always
+share one machine.
 """
 
 from __future__ import annotations
@@ -28,85 +46,271 @@ import time
 
 from repro.sim.engine import Simulator
 
+#: Workloads whose calendar/heap speedup the CI guard checks.
+GUARDED_WORKLOADS = ("churn", "macro")
 
-def churn(num_events: int = 400_000, fanout: int = 4) -> float:
-    """Self-sustaining event churn; returns executed events per second."""
-    sim = Simulator(seed=1)
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def churn(queue: str, num_events: int = 300_000, fanout: int = 4):
+    """Self-sustaining event churn; returns ``(events, elapsed_s)``."""
+    sim = Simulator(seed=1, queue=queue)
     state = {"remaining": num_events}
 
     def tick(depth: int) -> None:
         if state["remaining"] <= 0:
             return
         state["remaining"] -= 1
-        # Schedule a few future events and cancel most of them, mimicking the
-        # RTO-set/RTO-cancel pattern of the transports.
+        # Schedule one live continuation and a few cancelled timers,
+        # mimicking the RTO-set/RTO-cancel pattern of the transports.
         keep = sim.schedule(1e-6, tick, depth + 1)
         for _ in range(fanout - 1):
-            sim.cancel(sim.schedule(2e-6, tick, depth + 1))
+            sim.cancel(sim.set_timer(320e-6, tick, depth + 1))
         del keep
 
     sim.schedule(0.0, tick, 0)
     start = time.perf_counter()
     sim.run_until_idle()
-    elapsed = time.perf_counter() - start
-    return sim.events_processed / elapsed
+    return sim.events_processed, time.perf_counter() - start
 
 
-def macro() -> float:
-    """Events per second of one scaled-down Figure 1 IRN run."""
-    from repro.experiments import scenarios
-    from repro.experiments.runner import _build_network, _generate_flows, _FlowLauncher
-    from repro.metrics.collector import MetricsCollector
+def _scenario_workload(config):
+    """Build a ``(queue) -> (events, elapsed)`` runner for one experiment."""
 
-    config = scenarios.fig1_configs(num_flows=120)["IRN (without PFC)"]
-    sim = Simulator(seed=config.seed)
-    network = _build_network(sim, config)
-    collector = MetricsCollector(
-        network, mtu_bytes=config.mtu_bytes, header_bytes=config.effective_header_bytes()
+    def run(queue: str):
+        from repro.experiments.runner import (
+            _build_network,
+            _FlowLauncher,
+            _generate_flows,
+        )
+        from repro.metrics.collector import MetricsCollector
+
+        sim = Simulator(
+            seed=config.seed,
+            queue=queue,
+            bucket_width_s=config.mtu_bytes * 8.0 / config.link_bandwidth_bps,
+        )
+        network = _build_network(sim, config)
+        collector = MetricsCollector(
+            network,
+            mtu_bytes=config.mtu_bytes,
+            header_bytes=config.effective_header_bytes(),
+        )
+        launcher = _FlowLauncher(sim, network, config, collector)
+        for flow in _generate_flows(config, network):
+            sim.schedule_at(flow.start_time, launcher.launch, flow)
+        start = time.perf_counter()
+        sim.run(until=config.max_sim_time_s, max_events=config.max_events)
+        return sim.events_processed, time.perf_counter() - start
+
+    return run
+
+
+def _saturated_config():
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        name="bench-saturated",
+        topology="star",
+        num_hosts=6,
+        link_bandwidth_bps=10e9,
+        link_delay_s=2e-6,
+        transport="roce",
+        pfc_enabled=True,
+        workload="fixed",
+        num_flows=150,
+        target_load=1.0,
+        flow_size_scale=0.3,
+        seed=1,
+        max_sim_time_s=1.0,
     )
-    launcher = _FlowLauncher(sim, network, config, collector)
-    for flow in _generate_flows(config, network):
-        sim.schedule_at(flow.start_time, launcher.launch, flow)
-    start = time.perf_counter()
-    sim.run(until=config.max_sim_time_s, max_events=config.max_events)
-    elapsed = time.perf_counter() - start
-    return sim.events_processed / elapsed
+
+
+def _incast_config():
+    from repro.experiments.config import ExperimentConfig
+    from repro.workload.incast import IncastParams
+
+    return ExperimentConfig(
+        name="bench-incast",
+        topology="star",
+        num_hosts=16,
+        link_bandwidth_bps=10e9,
+        link_delay_s=2e-6,
+        transport="roce",
+        pfc_enabled=True,
+        workload="none",
+        incast=IncastParams(total_bytes=3_000_000, fan_in=15),
+        seed=1,
+        max_sim_time_s=1.0,
+    )
+
+
+def _irn_timer_config():
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        name="bench-irn-timer",
+        topology="star",
+        num_hosts=8,
+        link_bandwidth_bps=10e9,
+        link_delay_s=2e-6,
+        transport="irn",
+        pfc_enabled=False,
+        workload="heavy_tailed",
+        num_flows=150,
+        target_load=0.95,
+        flow_size_scale=0.2,
+        seed=1,
+        max_sim_time_s=1.0,
+    )
+
+
+def _macro_config():
+    from repro.experiments import scenarios
+
+    return scenarios.fig1_configs(num_flows=120)["IRN (without PFC)"]
+
+
+def workloads():
+    """Ordered ``name -> (queue) -> (events, elapsed)`` mapping."""
+    return {
+        "churn": churn,
+        "saturated": _scenario_workload(_saturated_config()),
+        "incast": _scenario_workload(_incast_config()),
+        "irn_timer": _scenario_workload(_irn_timer_config()),
+        "macro": _scenario_workload(_macro_config()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Measurement and the regression guard
+# ---------------------------------------------------------------------------
+
+def measure(names=None, repeats: int = 3) -> dict:
+    """Run each workload on both cores; best-of-``repeats`` rates + ratio."""
+    table = workloads()
+    if names:
+        missing = sorted(set(names) - set(table))
+        if missing:
+            raise SystemExit(f"unknown workload(s): {missing}; valid: {sorted(table)}")
+        table = {name: table[name] for name in table if name in names}
+    report: dict = {}
+    for name, fn in table.items():
+        rates = {"heap": 0.0, "calendar": 0.0}
+        events = {}
+        # Interleave the cores so thermal/background drift hits both alike.
+        for _ in range(repeats):
+            for queue in ("heap", "calendar"):
+                n, elapsed = fn(queue)
+                events[queue] = n
+                rates[queue] = max(rates[queue], n / elapsed)
+        if events["heap"] != events["calendar"]:
+            raise SystemExit(
+                f"{name}: cores diverged ({events['heap']} vs "
+                f"{events['calendar']} events) -- determinism bug"
+            )
+        report[name] = {
+            "events": events["calendar"],
+            "heap_events_per_s": rates["heap"],
+            "calendar_events_per_s": rates["calendar"],
+            "speedup": rates["calendar"] / rates["heap"],
+        }
+        print(
+            f"{name:<10} heap {rates['heap']:>10,.0f} ev/s   "
+            f"calendar {rates['calendar']:>10,.0f} ev/s   "
+            f"x{report[name]['speedup']:.2f}  ({events['calendar']} events)"
+        )
+    return report
+
+
+def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
+    """Return failure strings for guarded speedups below baseline*(1-tol)."""
+    failures = []
+    base_workloads = baseline.get("workloads", {})
+    for name in GUARDED_WORKLOADS:
+        if name not in report or name not in base_workloads:
+            continue
+        measured = report[name]["speedup"]
+        expected = base_workloads[name]["speedup"]
+        floor = expected * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{name}: calendar/heap speedup {measured:.3f} fell below "
+                f"{floor:.3f} (baseline {expected:.3f} - {tolerance:.0%})"
+            )
+    return failures
+
+
+def _metadata(repeats: int) -> dict:
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "timestamp_s": time.time(),
+        "repeats": repeats,
+    }
 
 
 def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description="Event-engine throughput measurement")
+    parser = argparse.ArgumentParser(description="Event-engine throughput suite")
     parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="also write the measured rates and run metadata to this JSON file",
+        help="write the measured rates and run metadata to this JSON file",
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
-        help="runs per workload; the best rate is reported (default: 3)",
+        help="runs per workload per core; the best rate is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare calendar/heap speedups against this baseline JSON and "
+             "fail on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative speedup regression for --check (default: 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline", metavar="PATH", default=None,
+        help="write the measured report as the new checked-in baseline",
     )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    report = {}
-    for name, fn in (("churn", churn), ("macro", macro)):
-        rates = [fn() for _ in range(args.repeats)]
-        best = max(rates)
-        report[f"{name}_events_per_s"] = best
-        print(f"{name:<6} {best:>12,.0f} events/s  (best of {len(rates)})")
+    names = args.workloads.split(",") if args.workloads else None
+    report = measure(names=names, repeats=args.repeats)
 
-    if args.json:
-        report.update(
-            python=sys.version.split()[0],
-            implementation=platform.python_implementation(),
-            platform=platform.platform(),
-            machine=platform.machine(),
-            timestamp_s=time.time(),
-            repeats=args.repeats,
-        )
-        with open(args.json, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
+    payload = {"workloads": report, **_metadata(args.repeats)}
+    # Trajectory-compatible aliases for the pre-suite BENCH_*.json schema.
+    if "churn" in report:
+        payload["churn_events_per_s"] = report["churn"]["calendar_events_per_s"]
+    if "macro" in report:
+        payload["macro_events_per_s"] = report["macro"]["calendar_events_per_s"]
+
+    for path in filter(None, (args.json, args.update_baseline)):
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {args.json}")
+        print(f"wrote {path}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(report, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            raise SystemExit(1)
+        guarded = ", ".join(n for n in GUARDED_WORKLOADS if n in report)
+        print(f"perf guard ok ({guarded} within {args.tolerance:.0%} of baseline)")
 
 
 if __name__ == "__main__":

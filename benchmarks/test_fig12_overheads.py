@@ -3,29 +3,36 @@
 Paper result: adding 16 bytes of extra headers to every packet and a 2 us
 PCIe fetch delay for retransmissions costs IRN only 4-7%, leaving it 35-63%
 better than RoCE (with PFC).
+
+Each scheme runs over a three-seed axis; the cost/ordering assertions are on
+:func:`aggregate_rows` means rather than a single seed's draw.
 """
 
 from repro.experiments import scenarios
 
 from benchmarks.conftest import (
     BENCH_FLOWS,
-    BENCH_SEED,
+    BENCH_SEEDS,
+    aggregate_by_scheme,
     assert_all_completed,
     print_metric_table,
     run_scenarios,
+    seed_replicas,
 )
 
 
 def test_fig12_worst_case_overheads(benchmark):
-    configs = scenarios.fig12_configs(num_flows=BENCH_FLOWS, seed=BENCH_SEED)
-    results = run_scenarios(benchmark, configs)
-    print_metric_table("Figure 12: IRN implementation overheads", results)
+    base = scenarios.fig12_configs(num_flows=BENCH_FLOWS)
+    results = run_scenarios(benchmark, seed_replicas(base))
+    print_metric_table("Figure 12: IRN implementation overheads, per replica", results)
     assert_all_completed(results)
 
-    plain = results["IRN (no overheads)"]
-    worst = results["IRN (worst-case overheads)"]
-    roce = results["RoCE (with PFC)"]
-    # The modelled overheads cost only a few percent...
-    assert worst.summary.avg_fct <= 1.15 * plain.summary.avg_fct
+    aggregates = aggregate_by_scheme(base, results)
+    plain = aggregates["IRN (no overheads)"]
+    worst = aggregates["IRN (worst-case overheads)"]
+    roce = aggregates["RoCE (with PFC)"]
+    assert plain["replicas"] == len(BENCH_SEEDS)
+    # The modelled overheads cost only a few percent on seed-averaged FCT...
+    assert worst["avg_fct_s_mean"] <= 1.15 * plain["avg_fct_s_mean"]
     # ...and IRN stays at least competitive with the RoCE+PFC baseline.
-    assert worst.summary.avg_slowdown <= 1.1 * roce.summary.avg_slowdown
+    assert worst["avg_slowdown_mean"] <= 1.1 * roce["avg_slowdown_mean"]

@@ -3,49 +3,62 @@
 Paper result: incast without cross traffic is PFC's best case, yet IRN's RCT
 stays within ~2.5% of RoCE's; with cross traffic IRN wins on both the incast
 RCT (4-30%) and the background workload (32-87%).
+
+Every cell runs over a three-seed axis; the RCT ratio and the background
+slowdown ordering are asserted on means over the replicas (the incast RCT is
+not one of the digest-aggregated headline metrics, so it is averaged here).
 """
 
 from repro.experiments import scenarios
+from repro.metrics.stats import mean
 
-from benchmarks.conftest import BENCH_SEED, run_scenarios
+from benchmarks.conftest import BENCH_SEEDS, run_scenarios, seed_replicas
+from repro.experiments.spec import replica_label
+
+
+def _replica_mean(results, label, metric):
+    values = [getattr(results[replica_label(label, seed)], metric) for seed in BENCH_SEEDS]
+    assert all(value is not None for value in values), label
+    return mean(values)
 
 
 def test_fig9_incast_rct_ratio(benchmark):
     fan_ins = (5, 10)
-    configs = scenarios.fig9_configs(fan_ins=fan_ins, total_bytes=2_000_000, seed=BENCH_SEED)
+    configs = scenarios.fig9_configs(fan_ins=fan_ins, total_bytes=2_000_000)
     configs.update(
         {
             "cross-traffic " + label: config
             for label, config in scenarios.incast_with_cross_traffic_configs(
-                fan_in=8, total_bytes=1_500_000, num_flows=60, seed=BENCH_SEED
+                fan_in=8, total_bytes=1_500_000, num_flows=60
             ).items()
         }
     )
-    results = run_scenarios(benchmark, configs)
+    results = run_scenarios(benchmark, seed_replicas(configs))
 
-    print("\n=== Figure 9: incast RCT, IRN (no PFC) vs RoCE (PFC) ===")
+    print("\n=== Figure 9: incast RCT, IRN (no PFC) vs RoCE (PFC), seed-averaged ===")
     print(f"{'fan-in M':>9} {'RoCE RCT (ms)':>14} {'IRN RCT (ms)':>14} {'IRN/RoCE':>9}")
     for fan_in in fan_ins:
-        roce = results[f"RoCE M={fan_in}"].incast_rct_s
-        irn = results[f"IRN M={fan_in}"].incast_rct_s
-        assert roce is not None and irn is not None
+        roce = _replica_mean(results, f"RoCE M={fan_in}", "incast_rct_s")
+        irn = _replica_mean(results, f"IRN M={fan_in}", "incast_rct_s")
         ratio = irn / roce
         print(f"{fan_in:>9} {roce * 1e3:>14.3f} {irn * 1e3:>14.3f} {ratio:>9.3f}")
         # Paper: the ratio stays close to 1 (within a few percent at scale).
         assert ratio <= 1.3
 
-    print("\n=== §4.4.3: incast with 50%-load cross traffic ===")
+    print("\n=== §4.4.3: incast with 50%-load cross traffic, seed-averaged ===")
     print(f"{'scheme':<34} {'incast RCT (ms)':>16} {'bg avg slowdown':>16}")
-    cross = {label: r for label, r in results.items() if label.startswith("cross-traffic")}
-    for label, result in cross.items():
-        rct = result.incast_rct_s
-        background = result.background_summary
-        assert rct is not None and background is not None
-        print(f"{label:<34} {rct * 1e3:>16.3f} {background.avg_slowdown:>16.2f}")
+    cross_labels = sorted(
+        {label for label in configs if label.startswith("cross-traffic")}
+    )
+    bg_slowdown = {}
+    for label in cross_labels:
+        rct = _replica_mean(results, label, "incast_rct_s")
+        bg_slowdown[label] = _replica_mean(
+            results, label, "background_avg_slowdown"
+        )
+        print(f"{label:<34} {rct * 1e3:>16.3f} {bg_slowdown[label]:>16.2f}")
 
-    irn_cross = cross["cross-traffic IRN (without PFC)"]
-    roce_cross = cross["cross-traffic RoCE (with PFC)"]
     # With cross traffic present, IRN's background workload does not lose to
-    # RoCE+PFC (the paper shows a 32-87% win).
-    assert (irn_cross.background_summary.avg_slowdown
-            <= 1.2 * roce_cross.background_summary.avg_slowdown)
+    # RoCE+PFC (the paper shows a 32-87% win) -- on seed-averaged slowdown.
+    assert (bg_slowdown["cross-traffic IRN (without PFC)"]
+            <= 1.2 * bg_slowdown["cross-traffic RoCE (with PFC)"])

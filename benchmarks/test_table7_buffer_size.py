@@ -3,24 +3,44 @@
 Paper result: with smaller buffers PFC pauses more and congestion spreading
 worsens, so the penalty of enabling PFC with IRN grows; with larger buffers
 the lossy/lossless gap shrinks.
+
+Each (row, scheme) cell runs over the spec's three-seed replica axis; the
+pause-count monotonicity is asserted on totals over every replica.
 """
 
 from repro.experiments import scenarios
 
-from benchmarks.conftest import BENCH_SEED, print_ratio_rows, run_scenarios
+from benchmarks.conftest import (
+    aggregate_by_scheme,
+    print_ratio_rows,
+    run_scenarios,
+)
+
+FLOWS = 90
+BUFFER_BYTES = (15_000, 30_000, 60_000)
 
 
 def test_table7_buffer_size_sweep(benchmark):
-    table = scenarios.table7_configs(buffer_bytes=(15_000, 30_000, 60_000),
-                                     num_flows=90, seed=BENCH_SEED)
-    flat = {f"{row}|{col}": config for row, cols in table.items() for col, config in cols.items()}
-    results = run_scenarios(benchmark, flat)
-    rows = {row: {col: results[f"{row}|{col}"] for col in cols} for row, cols in table.items()}
-    print_ratio_rows("Table 7: per-port buffer size sweep", rows)
+    spec = scenarios.scenario("table7").with_rows(
+        {f"{size // 1000}KB": {"buffer_bytes_per_port": size} for size in BUFFER_BYTES}
+    )
+    table = spec.tables(num_flows=FLOWS)
+    results = run_scenarios(benchmark, spec.replicated(num_flows=FLOWS))
 
+    rows = {
+        row: {col: results[f"{row}|{col} [seed={spec.seeds[0]}]"] for col in cols}
+        for row, cols in table.items()
+    }
+    print_ratio_rows("Table 7: per-port buffer size sweep (seed 1)", rows)
+
+    aggregates = aggregate_by_scheme(spec.configs(num_flows=FLOWS), results)
     pauses_by_buffer = []
-    for row, schemes in rows.items():
-        assert schemes["IRN"].completion_fraction() == 1.0, row
-        pauses_by_buffer.append(schemes["RoCE+PFC"].pause_frames)
-    # Smaller buffers must produce at least as many pause frames as larger ones.
+    for row in table:
+        irn = aggregates[f"{row}|IRN"]
+        assert irn["replicas"] == len(spec.seeds), row
+        # IRN keeps finishing every flow at each buffer size, in all replicas.
+        assert irn["num_flows_total"] == FLOWS * len(spec.seeds), row
+        pauses_by_buffer.append(aggregates[f"{row}|RoCE+PFC"]["pause_frames_total"])
+    # Smaller buffers must produce at least as many pause frames as larger
+    # ones -- summed over every replica.
     assert pauses_by_buffer[0] >= pauses_by_buffer[-1]

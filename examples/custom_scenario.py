@@ -9,12 +9,22 @@ This is the pluggable-scenario API end to end, without editing a single
 2. register a new congestion-control scheme (a toy fixed-rate limiter),
 3. describe an experiment as a declarative :class:`ScenarioSpec` comparing
    IRN under the new scheme against stock IRN and RoCE on that fabric,
-4. sweep it and print the paper-style report.
+4. sweep it -- **in parallel** -- and print the paper-style report.
+
+Parallel workers re-import a clean registry, so this module names itself in
+the ``REPRO_PLUGINS`` environment variable: the sweep layer imports the
+named modules in every worker process (and in the coordinator) before
+running cells, which is what makes script-registered components work with
+``workers > 1``.  Because the coordinator may import this module *alongside*
+the ``__main__`` execution of the same file, every registration below is
+guarded to be idempotent.
 
 Run with::
 
     python examples/custom_scenario.py
 """
+
+import os
 
 import repro.api as repro
 from repro.congestion.base import RateBasedControl
@@ -24,11 +34,6 @@ from repro.sim.network import Network
 # ---------------------------------------------------------------------------
 # 1. A new topology family: two spines, each leaf dual-homed to both.
 # ---------------------------------------------------------------------------
-@repro.register_topology(
-    "leaf_spine",
-    max_hop_count=4,           # host -> leaf -> spine -> leaf -> host
-    switch_radix=lambda config: max(4, config.num_hosts // 2),
-)
 def build_leaf_spine(sim, config, switch_config):
     network = Network(sim)
     leaves = ("leaf0", "leaf1")
@@ -59,7 +64,6 @@ class HalfRate(RateBasedControl):
         self.clamp_rate()
 
 
-@repro.register_congestion_control("half_rate")
 def make_half_rate(line_rate_bps, base_rtt_s, params=None):
     return HalfRate(line_rate_bps)
 
@@ -67,7 +71,7 @@ def make_half_rate(line_rate_bps, base_rtt_s, params=None):
 # ---------------------------------------------------------------------------
 # 3. The scenario, as data.
 # ---------------------------------------------------------------------------
-SPEC = repro.register_scenario(repro.ScenarioSpec(
+SPEC = repro.ScenarioSpec(
     name="leaf_spine_shootout",
     description="IRN vs RoCE vs IRN+half-rate on a dual-spine leaf-spine fabric",
     defaults={
@@ -85,7 +89,24 @@ SPEC = repro.register_scenario(repro.ScenarioSpec(
         "IRN + half-rate": {"transport": "irn", "congestion_control": "half_rate"},
     },
     seeds=(1, 2),
-))
+)
+
+
+def register() -> None:
+    """Idempotent registrations (safe under __main__ + plugin double import)."""
+    if "leaf_spine" not in repro.TOPOLOGIES.names():
+        repro.register_topology(
+            "leaf_spine",
+            max_hop_count=4,   # host -> leaf -> spine -> leaf -> host
+            switch_radix=lambda config: max(4, config.num_hosts // 2),
+        )(build_leaf_spine)
+    if "half_rate" not in repro.CONGESTION_SCHEMES.names():
+        repro.register_congestion_control("half_rate")(make_half_rate)
+    if "leaf_spine_shootout" not in repro.SCENARIOS.names():
+        repro.register_scenario(SPEC)
+
+
+register()
 
 
 def main() -> None:
@@ -94,9 +115,12 @@ def main() -> None:
     print(f"Registered congestion schemes: {', '.join(repro.CONGESTION_SCHEMES.names())}")
     print()
 
-    # Registrations made in this script live in this process only, so keep
-    # the sweep serial (worker processes would re-import a clean registry).
-    sweep = repro.load_scenario("leaf_spine_shootout").sweep(workers=1)
+    # Name this module in REPRO_PLUGINS so parallel worker processes import
+    # it (re-running `register()` in their clean registries) before they run
+    # cells.  When run as `python examples/custom_scenario.py`, the script
+    # directory is on sys.path, so the import name is bare "custom_scenario".
+    os.environ.setdefault("REPRO_PLUGINS", "custom_scenario")
+    sweep = repro.load_scenario("leaf_spine_shootout").sweep(workers=2)
     print(repro.format_metric_table("leaf-spine shootout, per replica", sweep.rows))
     print()
     print(repro.format_aggregate_table(SPEC.aggregate(sweep), label_keys=("name",)))

@@ -166,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # Import REPRO_PLUGINS modules before touching any registry, so custom
+    # scenarios/components registered by plugins resolve by name in the CLI
+    # (worker processes import the same modules via the sweep layer).
+    from repro.experiments.sweep import import_plugins
+
+    import_plugins()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

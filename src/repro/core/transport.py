@@ -136,15 +136,21 @@ class BaseSender:
         return True
 
     def next_packet(self, now: float) -> Optional[Packet]:
-        """Hand the next packet of this flow to the NIC."""
+        """Hand the next packet of this flow to the NIC (or ``None``).
+
+        Selection runs before the pacing gate, mirroring
+        :meth:`has_packet_ready`: a flow with nothing eligible returns
+        ``None`` *without* arming a pacing wake-up, so an idle-but-paced QP
+        never keeps the event loop alive on its own.
+        """
         if self.completed:
+            return None
+        psn = self._select_packet(now)
+        if psn is None:
             return None
         release = self._pacing_release_time(now)
         if release > now:
             self._ensure_pacing_wakeup(release)
-            return None
-        psn = self._select_packet(now)
-        if psn is None:
             return None
         packet = self._build_packet(psn, now)
         self._note_sent(psn, packet, now)
@@ -254,7 +260,11 @@ class BaseSender:
             if not restart:
                 return
             self._rto_event.cancel()
-        self._rto_event = self.sim.schedule(self._rto_value(now), self._rto_fired)
+        # Retransmission timers follow the set-then-cancel pattern (almost
+        # every timer is cancelled by the ACK that precedes it), so they go
+        # on the engine's timer wheel where cancellation is O(1) and never
+        # leaves a tombstone in the sorted event structures.
+        self._rto_event = self.sim.set_timer(self._rto_value(now), self._rto_fired)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:

@@ -152,6 +152,7 @@ _paper_scenario(
         "RoCE (with PFC)": _scheme("roce", pfc=True),
         "RoCE without PFC": _scheme("roce", pfc=False),
     },
+    seeds=(1, 2, 3),
 )
 
 
@@ -175,6 +176,7 @@ _paper_scenario(
         _scheme("roce", pfc=True), "RoCE",
         _scheme("irn", pfc=False), "IRN",
     ),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -184,6 +186,7 @@ _paper_scenario(
         _scheme("irn", pfc=True), "IRN with PFC",
         _scheme("irn", pfc=False), "IRN",
     ),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -193,6 +196,7 @@ _paper_scenario(
         _scheme("roce", pfc=True), "RoCE with PFC",
         _scheme("roce", pfc=False), "RoCE without PFC",
     ),
+    seeds=(1, 2, 3),
 )
 
 
@@ -207,6 +211,7 @@ _paper_scenario(
         "IRN with Go-Back-N": _scheme("irn_go_back_n"),
         "IRN without BDP-FC": _scheme("irn_no_bdpfc"),
     },
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -216,6 +221,7 @@ _paper_scenario(
         "IRN": _scheme("irn"),
         "IRN without SACK": _scheme("irn_no_sack"),
     },
+    seeds=(1, 2, 3),
 )
 
 
@@ -268,6 +274,7 @@ _paper_scenario(
     defaults={"workload": "none", "num_flows": 0},
     cell_label="{variant} {row}",
     name_template="incast-{transport}-m{incast.fan_in}",
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -286,6 +293,7 @@ _paper_scenario(
             "start_time": 1e-4,
         },
     },
+    seeds=(1, 2, 3),
 )
 
 
@@ -310,6 +318,7 @@ _paper_scenario(
         "IRN": _scheme("irn"),
         "IRN + AIMD": _scheme("irn", cc="aimd"),
     },
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -320,6 +329,7 @@ _paper_scenario(
         "IRN (no overheads)": _scheme("irn"),
         "IRN (worst-case overheads)": _scheme("irn", worst_case_overheads=True),
     },
+    seeds=(1, 2, 3),
 )
 
 
@@ -364,6 +374,7 @@ _paper_scenario(
     "Table 3: link utilization sweep",
     COMPARISON_TRIPLE,
     rows=_load_rows((0.3, 0.5, 0.7, 0.9)),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -371,6 +382,7 @@ _paper_scenario(
     "Table 4: link bandwidth sweep (paper: 10/40/100 Gbps)",
     COMPARISON_TRIPLE,
     rows=_bandwidth_rows((5, 10, 25)),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -378,6 +390,7 @@ _paper_scenario(
     "Table 5: fat-tree scale sweep (paper: k = 6, 8, 10)",
     COMPARISON_TRIPLE,
     rows=_arity_rows((4, 6)),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -400,6 +413,7 @@ _paper_scenario(
     "Table 7: per-port buffer size sweep (paper: 60-480 KB at 40 Gbps)",
     COMPARISON_TRIPLE,
     rows=_buffer_rows((15_000, 30_000, 60_000)),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(
@@ -407,6 +421,7 @@ _paper_scenario(
     "Table 8: RTO_high sweep",
     COMPARISON_TRIPLE,
     rows=_rto_rows((320e-6, 640e-6, 1280e-6)),
+    seeds=(1, 2, 3),
 )
 
 _paper_scenario(

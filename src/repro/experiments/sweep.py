@@ -41,6 +41,7 @@ written by a different source tree read as misses.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import itertools
 import json
 import os
@@ -236,6 +237,41 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
 
+#: Environment variable naming plugin modules to import before running cells.
+PLUGINS_ENV_VAR = "REPRO_PLUGINS"
+
+_PLUGINS_IMPORTED: Optional[str] = None
+
+
+def import_plugins(spec: Optional[str] = None) -> List[str]:
+    """Import the comma-separated modules named in ``REPRO_PLUGINS``.
+
+    Registrations made in a script are process-local: a parallel sweep's
+    worker processes re-import a clean registry, so custom components used
+    to require ``workers=1``.  Naming the registering module(s) in the
+    ``REPRO_PLUGINS`` environment variable lifts that: every worker (and
+    the coordinating process) imports them before running cells, so
+    registered components resolve everywhere.  The modules must be
+    importable in the workers (on ``PYTHONPATH``) and must register
+    **idempotently** -- the coordinator may import them alongside the
+    ``__main__`` script that already ran the registrations (guard with
+    ``if "name" not in REGISTRY.names():`` or pass ``replace=True``).
+
+    ``spec`` overrides the environment (used by tests).  Returns the list
+    of module names imported.  Memoized per value, so calling this once
+    per cell costs a string comparison after the first import.
+    """
+    global _PLUGINS_IMPORTED
+    value = os.environ.get(PLUGINS_ENV_VAR, "") if spec is None else spec
+    if value == _PLUGINS_IMPORTED:
+        return []
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    for name in names:
+        importlib.import_module(name)
+    _PLUGINS_IMPORTED = value
+    return names
+
+
 def _run_cell(item: Tuple[str, ExperimentConfig]) -> ResultRow:
     """Worker entry point: run one cell, return only the flat row.
 
@@ -243,6 +279,9 @@ def _run_cell(item: Tuple[str, ExperimentConfig]) -> ResultRow:
     start method; the heavyweight ``ExperimentResult`` never leaves the
     worker process.
     """
+    # Plugin modules first: under "spawn" this worker has a clean registry
+    # and custom components must be re-registered before the config resolves.
+    import_plugins()
     # Imported here so workers under "spawn" pay the import cost once, and so
     # this module does not import the runner (and the whole sim stack) just
     # to expand grids or read caches.

@@ -1,36 +1,65 @@
 """The discrete-event simulation engine.
 
-The engine is a classic calendar-queue style event loop built on a binary
-heap.  All other simulator components (links, switches, hosts, transports)
-schedule callbacks on a shared :class:`Simulator` instance.  Time is kept in
-seconds as a float; event ordering between equal timestamps is FIFO by
-insertion order so runs are fully deterministic for a given seed.
+Two interchangeable scheduler cores sit behind one :class:`Simulator` front:
 
-Cancelled events are *tombstones*: they stay in the heap and are discarded
-when they reach the head.  Because the transports set and almost always
-cancel one retransmission timer per data packet, tombstones can outnumber
-live events; the simulator therefore compacts the heap in place whenever the
-dead fraction grows past one half (amortized O(1) per event).
+* ``queue="calendar"`` (the default) -- a bucketed **calendar queue** keyed on
+  link-delay quanta.  Near-future events append to fixed-width time buckets
+  (O(1)); each bucket is sorted once when the clock reaches it.  Events beyond
+  the bucketed window live in a heap-backed *overflow band* and migrate into
+  buckets as the window rotates forward.  A dedicated **hashed timer wheel**
+  stages cancellable timers (:meth:`Simulator.set_timer`): cancellation is an
+  O(1) mark and cancelled timers are dropped wholesale when their wheel slot
+  is flushed -- the set-then-cancel retransmission pattern of the transports
+  never creates tombstones in the sorted structures at all.
+* ``queue="heap"`` -- the original binary-heap loop, kept as an escape hatch
+  and as the reference for determinism tests.  Cancelled events are
+  tombstones compacted away when they dominate the heap.
+
+Both cores execute events in exactly the same order: time is kept in seconds
+as a float and event ordering between equal timestamps is FIFO by insertion
+order (a single ``(time, seq)`` key shared by regular events and timers), so
+runs are fully deterministic for a given seed and **byte-for-byte identical
+across cores** -- ``tests/test_engine_determinism.py`` pins this.
+
+The core is selected per instance (``Simulator(queue=...)``) or process-wide
+with the ``REPRO_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
+from bisect import insort
 from typing import Any, Callable, Optional
 
-#: Heaps smaller than this are never compacted -- scanning them costs more
-#: than letting the pop loop discard the tombstones.
+#: Structures smaller than this are never compacted/swept -- scanning them
+#: costs more than letting the drain loops discard the tombstones.
 _COMPACT_MIN_SIZE = 2048
+
+#: Default calendar-queue bucket width.  One bucket per link-delay quantum is
+#: the sweet spot; the experiment runner passes the configured MTU
+#: serialization time explicitly (see ``run_experiment``).
+DEFAULT_BUCKET_WIDTH_S = 1e-6
+
+#: Default number of calendar buckets (rounded up to a power of two).
+DEFAULT_NUM_BUCKETS = 256
+
+#: Default timer-wheel slot width.  Retransmission timeouts are 100us-64ms,
+#: so a 64us slot keeps the wheel shallow while still batching cancellations.
+DEFAULT_WHEEL_SLOT_S = 64e-6
+
+_INF = float("inf")
 
 
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` so that simultaneous events fire in the
-    order they were scheduled.  Cancelled events stay in the heap but are
-    discarded, without running, when they reach the head.
+    order they were scheduled.  Cancelled events are skipped, without
+    running, when the engine reaches them; in the calendar core a cancelled
+    timer parked on the wheel is dropped in O(1) when its slot flushes.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -52,7 +81,7 @@ class Event:
         return f"Event(t={self.time!r}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it reaches the head."""
+        """Mark the event so the engine skips it when it is reached."""
         self.cancelled = True
 
 
@@ -65,20 +94,54 @@ class Simulator:
         Seed for the simulator-owned :class:`random.Random`.  Every stochastic
         component (workload generation, ECN marking, ECMP tie-breaks) draws
         from this RNG so a run is reproducible from its seed.
+    queue:
+        Scheduler core: ``"calendar"`` (default) or ``"heap"``.  ``None``
+        reads the ``REPRO_ENGINE`` environment variable before falling back
+        to the default.  Both cores execute identical event orders.
+    bucket_width_s, num_buckets, wheel_slot_s:
+        Calendar-core tuning knobs (ignored by the heap core): bucket width
+        in seconds (ideally one link-delay quantum), bucket count (rounded to
+        a power of two), and timer-wheel slot width.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    #: Name of the scheduler core (``"heap"`` / ``"calendar"``).
+    queue_kind: str = "abstract"
+
+    def __new__(
+        cls,
+        seed: int = 0,
+        queue: Optional[str] = None,
+        **kwargs: Any,
+    ) -> "Simulator":
+        if cls is Simulator:
+            name = queue or os.environ.get("REPRO_ENGINE") or "calendar"
+            try:
+                impl = _QUEUE_IMPLS[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown engine queue {name!r}; valid: {sorted(_QUEUE_IMPLS)}"
+                ) from None
+            return super().__new__(impl)
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        seed: int = 0,
+        queue: Optional[str] = None,
+        *,
+        bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        wheel_slot_s: float = DEFAULT_WHEEL_SLOT_S,
+    ) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._events_cancelled = 0
         self._stopped = False
-        self._compact_watermark = _COMPACT_MIN_SIZE
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling (shared surface)
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
@@ -88,6 +151,103 @@ class Simulator:
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute simulation time ``time``."""
+        raise NotImplementedError
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule a *cancellable timer* ``delay`` seconds from now.
+
+        Semantically identical to :meth:`schedule`, but optimized for the
+        set-then-cancel pattern (retransmission timeouts): the calendar core
+        parks timers on a hashed wheel where cancellation is O(1) unlinking
+        and a cancelled timer never touches the sorted event structures.
+        The heap core maps this to a plain :meth:`schedule`.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule a timer in the past (delay={delay})")
+        return self.set_timer_at(self.now + delay, fn, *args)
+
+    def set_timer_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Absolute-time form of :meth:`set_timer`."""
+        raise NotImplementedError
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event or timer (no-op for ``None``)."""
+        if event is not None:
+            event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution (shared surface)
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have been executed so far."""
+        return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled events discarded without running.
+
+        Counts every discard, whichever structure held the event: heap pops
+        and compactions, calendar bucket drains and sweeps, overflow-band
+        discards, and timer-wheel slot flushes.
+        """
+        return self._events_cancelled
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled ones not yet discarded)."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next *live* event would be later than this time; the
+            head event stays queued, so a later ``run`` call resumes exactly
+            where this one stopped.  On return the clock is advanced to
+            ``until`` whenever the simulation did not already reach it *and*
+            no live event at or before ``until`` remains queued (i.e. the
+            queue emptied or only later events remain); :meth:`stop` always
+            suppresses the advance, and the ``max_events`` valve does so only
+            when it left live events at or before ``until`` unexecuted.
+        max_events:
+            Safety valve: stop once this many events have been *executed*.
+            Cancelled events never run and do not count against the valve;
+            they are tallied separately in :attr:`events_cancelled`.
+            (Termination is still guaranteed: cancelled events cannot
+            schedule new events, so discarding them only shrinks the queue.)
+        """
+        raise NotImplementedError
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Run until no events remain (or ``max_events`` were executed)."""
+        self.run(until=None, max_events=max_events)
+
+
+class _HeapSimulator(Simulator):
+    """The original binary-heap core (``queue="heap"``).
+
+    Cancelled events are *tombstones*: they stay in the heap and are discarded
+    when they reach the head.  Because the transports set and almost always
+    cancel one retransmission timer per data packet, tombstones can outnumber
+    live events; the core therefore compacts the heap in place whenever the
+    dead fraction grows past one half (amortized O(1) per event).
+    """
+
+    queue_kind = "heap"
+
+    def __init__(self, seed: int = 0, queue: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(seed, queue, **kwargs)
+        self._heap: list[Event] = []
+        self._compact_watermark = _COMPACT_MIN_SIZE
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
         if time < self.now:
             raise ValueError(
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
@@ -99,10 +259,8 @@ class Simulator:
             self._compact()
         return event
 
-    def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a previously scheduled event (no-op for ``None``)."""
-        if event is not None:
-            event.cancelled = True
+    #: Timers are plain events on the heap core (cancel leaves a tombstone).
+    set_timer_at = schedule_at
 
     def _compact(self) -> None:
         """Drop cancelled tombstones if they dominate the heap.
@@ -121,54 +279,11 @@ class Simulator:
             heapq.heapify(heap)
         self._compact_watermark = max(_COMPACT_MIN_SIZE, 2 * len(heap))
 
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    @property
-    def events_processed(self) -> int:
-        """Number of events that have been executed so far."""
-        return self._events_processed
-
-    @property
-    def events_cancelled(self) -> int:
-        """Number of cancelled events discarded (popped or compacted away)."""
-        return self._events_cancelled
-
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
         return len(self._heap)
 
-    def stop(self) -> None:
-        """Request that :meth:`run` return after the current event."""
-        self._stopped = True
-
-    def run(
-        self,
-        until: Optional[float] = None,
-        max_events: Optional[int] = None,
-    ) -> None:
-        """Run the event loop.
-
-        Parameters
-        ----------
-        until:
-            Stop once the next *live* event would be later than this time; the
-            head event stays queued, so a later ``run`` call resumes exactly
-            where this one stopped.  On return the clock is advanced to
-            ``until`` whenever the simulation did not already reach it *and*
-            no live event at or before ``until`` remains queued (i.e. the
-            queue emptied or only later events remain); :meth:`stop` always
-            suppresses the advance, and the ``max_events`` valve does so only
-            when it left live events at or before ``until`` unexecuted.
-        max_events:
-            Safety valve: stop once this many events have been *executed*.
-            Cancelled events discarded from the heap never run and do not
-            count against the valve; they are tallied separately in
-            :attr:`events_cancelled`.  (Termination is still guaranteed:
-            tombstones cannot schedule new events, so discarding them only
-            shrinks the heap.)
-        """
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         self._stopped = False
         # Hot path: bind everything the loop touches to locals.  This loop
         # runs hundreds of thousands of times per simulated second, so each
@@ -205,6 +320,414 @@ class Simulator:
             if not heap or heap[0].time > until:
                 self.now = until
 
-    def run_until_idle(self, max_events: Optional[int] = None) -> None:
-        """Run until no events remain (or ``max_events`` were executed)."""
-        self.run(until=None, max_events=max_events)
+
+class _CalendarSimulator(Simulator):
+    """Calendar-queue core with an overflow band and a hashed timer wheel.
+
+    Three bands, by event horizon:
+
+    * **buckets** -- fixed-width time buckets covering the rotating window
+      ``(win_lo, win_hi)`` of bucket indices.  Insertion is an O(1) append;
+      a bucket is sorted (by the shared ``(time, seq)`` key) only when the
+      clock reaches it.  The bucket currently draining (``_cur``) stays
+      sorted, so same-time insertions during callbacks ``insort`` into it.
+    * **overflow** -- a heap for events beyond the window (workload arrivals,
+      far-future timers flushed early).  When the window empties, the window
+      is rebased onto the overflow head and near-future events migrate into
+      buckets.
+    * **wheel** -- a hashed timer wheel (``dict`` of slot -> list) staging
+      :meth:`set_timer` timers.  A slot is flushed into the calendar only
+      when execution is about to pass its start time; timers cancelled
+      before then -- the overwhelmingly common case for retransmission
+      timers -- are dropped during the flush without ever entering the
+      sorted bands.
+
+    Execution order is identical to the heap core: every pop yields the
+    globally minimal ``(time, seq)``.
+    """
+
+    queue_kind = "calendar"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        queue: Optional[str] = None,
+        *,
+        bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        wheel_slot_s: float = DEFAULT_WHEEL_SLOT_S,
+    ) -> None:
+        super().__init__(seed, queue)
+        if bucket_width_s <= 0:
+            raise ValueError("bucket_width_s must be positive")
+        if wheel_slot_s <= 0:
+            raise ValueError("wheel_slot_s must be positive")
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be positive")
+        nb = 1
+        while nb < num_buckets:
+            nb *= 2
+        self._nb = nb
+        self._mask = nb - 1
+        self._inv_width = 1.0 / bucket_width_s
+        self.bucket_width_s = bucket_width_s
+        self._buckets: list[list[Event]] = [[] for _ in range(nb)]
+        self._num_bucketed = 0
+        #: Min-heap of absolute indices of occupied buckets (pushed on each
+        #: empty->non-empty transition; entries gone stale through sweeps are
+        #: dropped lazily).  Finding the next non-empty bucket is O(log n)
+        #: even when occupancy is sparse -- no linear window scans.
+        self._bucket_heads: list[int] = []
+        #: Bucket indices are *absolute* (int(time / width)); the window
+        #: covers (win_lo, win_hi) and only ever moves forward.
+        self._win_lo = -1
+        self._win_hi = nb - 1
+        self._cur: list[Event] = []
+        self._cur_idx = 0
+        self._overflow: list[Event] = []
+        # Timer wheel --------------------------------------------------
+        self._inv_wheel = 1.0 / wheel_slot_s
+        self.wheel_slot_s = wheel_slot_s
+        self._wheel: dict[int, list[Event]] = {}
+        self._wheel_heads: list[int] = []   # min-heap of occupied slot indices
+        self._wheel_count = 0
+        self._wheel_next_due = _INF         # start time of the earliest slot
+        self._wheel_flushed_thru = -1       # highest slot index already flushed
+        # Tombstone sweeping ------------------------------------------
+        self._since_sweep = 0
+        self._sweep_watermark = _COMPACT_MIN_SIZE
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past (time={time}, now={self.now})"
+            )
+        event = Event(time, next(self._seq), fn, args)
+        # Inlined _insert: this is the hottest schedule path.
+        idx = int(time * self._inv_width)
+        if idx > self._win_lo:
+            if idx < self._win_hi:
+                bucket = self._buckets[idx & self._mask]
+                if not bucket:
+                    heapq.heappush(self._bucket_heads, idx)
+                bucket.append(event)
+                self._num_bucketed += 1
+            else:
+                heapq.heappush(self._overflow, event)
+        else:
+            insort(self._cur, event, lo=self._cur_idx)
+        self._since_sweep += 1
+        if self._since_sweep >= self._sweep_watermark:
+            self._sweep()
+        return event
+
+    def set_timer_at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule a timer in the past (time={time}, now={self.now})"
+            )
+        slot = int(time * self._inv_wheel)
+        if slot <= self._wheel_flushed_thru:
+            # The slot's flush horizon already passed: behave like schedule.
+            event = Event(time, next(self._seq), fn, args)
+            self._insert(event)
+            return event
+        event = Event(time, next(self._seq), fn, args)
+        bucket = self._wheel.get(slot)
+        if bucket is None:
+            self._wheel[slot] = [event]
+            heapq.heappush(self._wheel_heads, slot)
+            self._wheel_next_due = self._wheel_heads[0] / self._inv_wheel
+        else:
+            bucket.append(event)
+        self._wheel_count += 1
+        self._since_sweep += 1
+        if self._since_sweep >= self._sweep_watermark:
+            self._sweep()
+        return event
+
+    def _insert(self, event: Event) -> None:
+        """Route an event into the band its time falls in (wheel excluded)."""
+        idx = int(event.time * self._inv_width)
+        if idx > self._win_lo:
+            if idx < self._win_hi:
+                bucket = self._buckets[idx & self._mask]
+                if not bucket:
+                    heapq.heappush(self._bucket_heads, idx)
+                bucket.append(event)
+                self._num_bucketed += 1
+            else:
+                heapq.heappush(self._overflow, event)
+        else:
+            insort(self._cur, event, lo=self._cur_idx)
+
+    # ------------------------------------------------------------------
+    # Wheel flushing and window rotation
+    # ------------------------------------------------------------------
+    def _flush_wheel(self, time: float) -> None:
+        """Move every wheel slot starting at or before ``time`` into the
+        calendar (dropping cancelled timers, which is where the O(1)-cancel
+        pay-off lands)."""
+        heads = self._wheel_heads
+        wheel = self._wheel
+        limit = int(time * self._inv_wheel)
+        heappop = heapq.heappop
+        insert = self._insert
+        while heads and heads[0] <= limit:
+            slot = heappop(heads)
+            for event in wheel.pop(slot, ()):
+                self._wheel_count -= 1
+                if event.cancelled:
+                    self._events_cancelled += 1
+                else:
+                    insert(event)
+            if slot > self._wheel_flushed_thru:
+                self._wheel_flushed_thru = slot
+        self._wheel_next_due = heads[0] / self._inv_wheel if heads else _INF
+
+    def _step_sources(self) -> bool:
+        """Make progress when ``_cur`` is exhausted: load the next non-empty
+        bucket, rebase the window onto the overflow band, or flush the next
+        due wheel slot.  Returns ``False`` only when every band is empty."""
+        if self._num_bucketed:
+            buckets = self._buckets
+            mask = self._mask
+            heads = self._bucket_heads
+            heappop = heapq.heappop
+            while heads:
+                i = heappop(heads)
+                # Stale-head checks: an index at or below win_lo is from a
+                # bucket consumed or swept before a window rebase -- its slot
+                # may since have been refilled by an ALIASED in-window index
+                # (i' != i, i' & mask == i & mask), so the emptiness of the
+                # slot alone is not proof of liveness.  The aliased index has
+                # its own head entry, so dropping the stale one loses nothing.
+                if i <= self._win_lo:
+                    continue
+                lst = buckets[i & mask]
+                if not lst:
+                    continue  # emptied by a sweep within the current window
+                buckets[i & mask] = []
+                self._num_bucketed -= len(lst)
+                if len(lst) > 1:
+                    lst.sort()
+                self._win_lo = i
+                self._cur = lst
+                self._cur_idx = 0
+                return True
+            raise RuntimeError(
+                "calendar-queue invariant violated: bucketed events not found in window"
+            )
+        overflow = self._overflow
+        while overflow and overflow[0].cancelled:
+            heapq.heappop(overflow)
+            self._events_cancelled += 1
+        if overflow:
+            head_time = overflow[0].time
+            if head_time < self._wheel_next_due:
+                # Rebase the window so the overflow head lands in its first
+                # bucket, then migrate everything near-future out of the heap.
+                new_lo = int(head_time * self._inv_width)
+                self._win_lo = new_lo - 1
+                win_hi = new_lo + self._nb - 1
+                self._win_hi = win_hi
+                inv_width = self._inv_width
+                buckets = self._buckets
+                mask = self._mask
+                heappop = heapq.heappop
+                # The migration bound uses the exact insertion computation
+                # (int(time * inv_width)) so float rounding can never place
+                # an event in a slot outside the scanned window.
+                heappush = heapq.heappush
+                heads = self._bucket_heads
+                while overflow and int(overflow[0].time * inv_width) < win_hi:
+                    event = heappop(overflow)
+                    if event.cancelled:
+                        self._events_cancelled += 1
+                        continue
+                    idx = int(event.time * inv_width)
+                    bucket = buckets[idx & mask]
+                    if not bucket:
+                        heappush(heads, idx)
+                    bucket.append(event)
+                    self._num_bucketed += 1
+                return True
+            self._flush_wheel(self._wheel_next_due)
+            return True
+        if self._wheel_next_due is not _INF and self._wheel_heads:
+            self._flush_wheel(self._wheel_next_due)
+            return True
+        return False
+
+    def _slow_peek(self) -> Optional[Event]:
+        """The next live event (leaving it queued), or ``None`` when empty.
+
+        Normalizes state so ``self._cur[self._cur_idx]`` is that event:
+        skips cancelled entries, flushes due wheel slots, loads/rotates
+        buckets and migrates the overflow band as needed.
+        """
+        while True:
+            cur = self._cur
+            idx = self._cur_idx
+            n = len(cur)
+            blocked = False
+            while idx < n:
+                event = cur[idx]
+                if event.cancelled:
+                    idx += 1
+                    self._events_cancelled += 1
+                    continue
+                if event.time >= self._wheel_next_due:
+                    # Wheel timers may be due before this event: flush, then
+                    # rescan (the flush can insort earlier events into _cur).
+                    self._cur_idx = idx
+                    self._flush_wheel(event.time)
+                    blocked = True
+                    break
+                self._cur_idx = idx
+                return event
+            if blocked:
+                continue
+            self._cur_idx = n
+            if not self._step_sources():
+                return None
+
+    # ------------------------------------------------------------------
+    # Tombstone sweeping (memory bound, heap-compaction analog)
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        """Drop cancelled entries everywhere if they dominate.
+
+        Triggered every ``watermark`` insertions; the watermark doubles with
+        the surviving population so the O(n) walk is amortized O(1) per
+        insertion, exactly like the heap core's compaction.
+        """
+        self._since_sweep = 0
+        total = self.pending_events
+        if total < _COMPACT_MIN_SIZE:
+            self._sweep_watermark = _COMPACT_MIN_SIZE
+            return
+        dead = 0
+        dead += sum(1 for e in self._cur[self._cur_idx:] if e.cancelled)
+        for lst in self._buckets:
+            dead += sum(1 for e in lst if e.cancelled)
+        dead += sum(1 for e in self._overflow if e.cancelled)
+        for lst in self._wheel.values():
+            dead += sum(1 for e in lst if e.cancelled)
+        if 2 * (total - dead) > total:
+            self._sweep_watermark = max(_COMPACT_MIN_SIZE, 2 * (total - dead))
+            return
+        # Rebuild every band without its tombstones.
+        live_cur = [e for e in self._cur[self._cur_idx:] if not e.cancelled]
+        self._cur = live_cur
+        self._cur_idx = 0
+        for slot in range(len(self._buckets)):
+            lst = self._buckets[slot]
+            if lst:
+                self._buckets[slot] = [e for e in lst if not e.cancelled]
+        self._num_bucketed = sum(len(lst) for lst in self._buckets)
+        live_overflow = [e for e in self._overflow if not e.cancelled]
+        heapq.heapify(live_overflow)
+        self._overflow = live_overflow
+        for slot in list(self._wheel):
+            lst = [e for e in self._wheel[slot] if not e.cancelled]
+            if lst:
+                self._wheel[slot] = lst
+            else:
+                del self._wheel[slot]
+        self._wheel_count = sum(len(lst) for lst in self._wheel.values())
+        self._wheel_heads = sorted(self._wheel)
+        self._wheel_next_due = (
+            self._wheel_heads[0] / self._inv_wheel if self._wheel_heads else _INF
+        )
+        self._events_cancelled += dead
+        self._sweep_watermark = max(_COMPACT_MIN_SIZE, 2 * self.pending_events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return (
+            len(self._cur)
+            - self._cur_idx
+            + self._num_bucketed
+            + len(self._overflow)
+            + self._wheel_count
+        )
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self._stopped = False
+        limit = _INF if until is None else until
+        budget = max_events if max_events is not None else None
+        executed = 0
+        try:
+            while not self._stopped:
+                # Fast path: the next entry of the sorted current bucket.
+                cur = self._cur
+                idx = self._cur_idx
+                if idx < len(cur):
+                    event = cur[idx]
+                    time = event.time
+                    if not event.cancelled and time < self._wheel_next_due:
+                        if time > limit:
+                            break
+                        self._cur_idx = idx + 1
+                        self.now = time
+                        event.fn(*event.args)
+                        executed += 1
+                        if budget is not None and executed >= budget:
+                            break
+                        continue
+                    # Tombstone or a due wheel slot at the head.
+                    if self._slow_peek() is None:
+                        break
+                    continue
+                if self._num_bucketed:
+                    # Medium path, inlined because it runs once per bucket
+                    # (= once per event when buckets are sparse): pop the
+                    # next occupied bucket off the heads heap.
+                    buckets = self._buckets
+                    mask = self._mask
+                    heads = self._bucket_heads
+                    win_lo = self._win_lo
+                    lst = None
+                    while heads:
+                        i = heapq.heappop(heads)
+                        if i <= win_lo:
+                            continue  # stale head (see _step_sources)
+                        lst = buckets[i & mask]
+                        if lst:
+                            break
+                    if not lst:
+                        raise RuntimeError(
+                            "calendar-queue invariant violated: "
+                            "bucketed events not found in window"
+                        )
+                    buckets[i & mask] = []
+                    self._num_bucketed -= len(lst)
+                    if len(lst) > 1:
+                        lst.sort()
+                    self._win_lo = i
+                    self._cur = lst
+                    self._cur_idx = 0
+                    continue
+                # Slow path: rotate the window onto the overflow band or
+                # flush the next due wheel slot -- then retry the fast path.
+                if self._slow_peek() is None:
+                    break
+        finally:
+            self._events_processed += executed
+        if until is not None and not self._stopped and self.now < until:
+            head = self._slow_peek()
+            if head is None or head.time > until:
+                self.now = until
+
+
+_QUEUE_IMPLS: dict[str, type] = {
+    "heap": _HeapSimulator,
+    "calendar": _CalendarSimulator,
+}

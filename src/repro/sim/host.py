@@ -8,9 +8,9 @@ mirroring how responder hardware generates acknowledgements directly from the
 receive pipeline.
 
 The host is deliberately transport-agnostic: senders and receivers are duck
-typed.  A sender must provide ``has_packet_ready(now)``, ``next_packet(now)``
-and ``on_control(packet, now)``; a receiver must provide ``on_data(packet,
-now)`` returning the control frames to send back.
+typed.  A sender must provide ``next_packet(now)`` (returning ``None`` when
+nothing is eligible) and ``on_control(packet, now)``; a receiver must
+provide ``on_data(packet, now)`` returning the control frames to send back.
 """
 
 from __future__ import annotations
@@ -30,11 +30,9 @@ class SenderQP(Protocol):
 
     flow_id: int
 
-    def has_packet_ready(self, now: float) -> bool:
-        """True when the QP could hand a packet to the NIC right now."""
-
     def next_packet(self, now: float) -> Optional[Packet]:
-        """Pop the next packet to transmit (or ``None``)."""
+        """Pop the next packet to transmit (``None`` when nothing is
+        eligible; the QP arranges its own pacing wake-up in that case)."""
 
     def on_control(self, packet: Packet, now: float) -> None:
         """Process an ACK/NACK/CNP addressed to this flow."""
@@ -136,8 +134,11 @@ class Host:
             idx = (self._rr_index + offset) % count
             flow_id = self._active_order[idx]
             sender = self._senders.get(flow_id)
-            if sender is None or not sender.has_packet_ready(now):
+            if sender is None:
                 continue
+            # One call instead of has_packet_ready + next_packet: the QP
+            # returns None when it has nothing eligible (and arranges its
+            # own pacing wake-up), identically to the readiness probe.
             packet = sender.next_packet(now)
             if packet is None:
                 continue

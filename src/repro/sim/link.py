@@ -2,9 +2,22 @@
 
 A :class:`Link` is a unidirectional channel between two nodes with a fixed
 bandwidth and propagation delay.  The sending side of a link is driven by an
-:class:`OutputPort`, which serializes one packet at a time, honours PFC pause
-state, and pulls packets from its owning node (a switch output scheduler or a
-host NIC) whenever the wire goes idle.
+:class:`OutputPort`, which serializes packets, honours PFC pause state, and
+pulls packets from its owning node (a switch output scheduler or a host NIC)
+whenever the wire goes idle.
+
+Departures are *batched*: when the wire is idle and the source has
+back-to-back packets ready, the port commits up to
+:data:`DEFAULT_PORT_BATCH` of them in one pull, schedules each arrival
+directly at its exact serialization-completion-plus-propagation time, and
+arranges at most **one** wake-up event per busy period instead of one
+schedule->fire->pull chain per packet.  Committed packets model frames
+already handed to the MAC FIFO: a PFC pause arriving mid-batch takes effect
+at the next pull (the PFC headroom accounts for this burst, see
+:func:`repro.sim.pfc.headroom_for_link`).  Arrival times *and* per-packet
+send timestamps (``Packet.sent_time`` is re-stamped at each packet's
+serialization start, keeping RTT samples exact) are identical to the
+unbatched model; only the pull *decision points* are coarser.
 """
 
 from __future__ import annotations
@@ -14,7 +27,13 @@ from typing import TYPE_CHECKING, Optional, Protocol
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.engine import Simulator
+    from repro.sim.engine import Event, Simulator
+
+#: Maximum packets an :class:`OutputPort` commits to the wire per pull.  The
+#: PFC headroom budget (:func:`repro.sim.pfc.headroom_for_link`) absorbs one
+#: full batch in flight after a pause frame lands, so these two constants
+#: move together.
+DEFAULT_PORT_BATCH = 4
 
 
 class PacketSource(Protocol):
@@ -94,26 +113,50 @@ class OutputPort:
     the port is not paused by PFC.  Serialization is modelled explicitly: a
     packet occupies the wire for ``size_bits / bandwidth`` seconds and then
     propagates for the link delay before arriving at the peer.
+
+    One pull commits up to ``max_batch_packets`` back-to-back packets (the
+    departure batch); the port tracks when the wire frees (``_free_at``) and
+    schedules a wake-up pull only when one is actually needed -- when the
+    batch limit cut the pull short, or when a kick arrives while the wire is
+    busy.  An idle-source busy period therefore costs zero wake-up events.
     """
 
-    def __init__(self, sim: "Simulator", link: Link, source: PacketSource) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        link: Link,
+        source: PacketSource,
+        max_batch_packets: int = DEFAULT_PORT_BATCH,
+    ) -> None:
+        if max_batch_packets < 1:
+            raise ValueError("max_batch_packets must be >= 1")
         self.sim = sim
         self.link = link
         self.source = source
-        self.busy = False
+        self.max_batch_packets = max_batch_packets
         self.paused = False
+
+        self._free_at = 0.0
+        self._pull_event: Optional["Event"] = None
 
         # Statistics
         self.pause_count = 0
         self.resume_count = 0
         self.paused_time = 0.0
         self._paused_since: Optional[float] = None
+        #: Pulls that committed at least one packet (batches).
+        self.batches_sent = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while a committed departure batch still occupies the wire."""
+        return self.sim.now < self._free_at
 
     # ------------------------------------------------------------------
     # PFC pause handling
     # ------------------------------------------------------------------
     def pause(self) -> None:
-        """Stop pulling new packets (the in-flight packet completes)."""
+        """Stop pulling new packets (committed packets complete)."""
         if not self.paused:
             self.paused = True
             self.pause_count += 1
@@ -133,13 +176,70 @@ class OutputPort:
     # Transmission
     # ------------------------------------------------------------------
     def kick(self) -> None:
-        """Try to start transmitting if the wire is idle."""
-        if self.busy or self.paused:
+        """Try to start transmitting; defer to a wake-up if the wire is busy."""
+        if self.paused:
             return
-        packet = self.source.next_packet(self)
-        if packet is None:
+        now = self.sim.now
+        if now < self._free_at:
+            # Wire busy: remember (at most once) to pull when it frees.
+            if self._pull_event is None:
+                self._pull_event = self.sim.schedule_at(self._free_at, self._pull)
             return
-        self._transmit(packet)
+        self._start_batch(now)
+
+    def _pull(self) -> None:
+        self._pull_event = None
+        if self.paused:
+            return
+        now = self.sim.now
+        if now < self._free_at:
+            # A kick at this exact timestamp (but scheduled earlier) already
+            # started a new batch before this wake-up fired: the wire is
+            # committed again.  Re-arm for the new free time instead of
+            # double-committing the wire, which would interleave two batches
+            # and reorder the flow.
+            self._pull_event = self.sim.schedule_at(self._free_at, self._pull)
+            return
+        self._start_batch(now)
+
+    def _start_batch(self, now: float) -> None:
+        """Commit up to ``max_batch_packets`` departures starting at ``now``."""
+        link = self.link
+        sim = self.sim
+        next_packet = self.source.next_packet
+        receive = link.dst.receive
+        prop = link.prop_delay_s
+        bandwidth = link.bandwidth_bps
+        free_at = now
+        count = 0
+        limit = self.max_batch_packets
+        while count < limit:
+            packet = next_packet(self)
+            if packet is None:
+                break
+            # Re-stamp the send time at this packet's serialization start:
+            # transports build batch members at the pull timestamp, but RTT
+            # consumers (Timely, iWARP's adaptive RTO) must see the same
+            # wire-start times the unbatched model produced.
+            packet.sent_time = free_at
+            delay = packet.size_bits / bandwidth
+            link.busy_time += delay
+            link.bytes_sent += packet.size_bytes
+            link.packets_sent += 1
+            free_at += delay
+            # The arrival time is fixed the moment serialization is
+            # committed, so schedule it directly -- no per-packet
+            # transmit-done event.
+            sim.schedule_at(free_at + prop, receive, packet, link)
+            count += 1
+        if count:
+            self.batches_sent += 1
+            self._free_at = free_at
+            if count >= limit:
+                # The batch limit (not an empty source) ended the pull, so
+                # nothing will kick us: arrange the next pull ourselves.
+                if self._pull_event is None:
+                    self._pull_event = sim.schedule_at(free_at, self._pull)
 
     def send_control_direct(self, packet: Packet) -> None:
         """Send a control frame bypassing the data queue (used for PFC).
@@ -151,16 +251,3 @@ class OutputPort:
         """
         delay = self.link.serialization_delay(packet)
         self.link.deliver(packet, extra_delay=delay)
-
-    def _transmit(self, packet: Packet) -> None:
-        self.busy = True
-        delay = self.link.serialization_delay(packet)
-        self.link.busy_time += delay
-        self.link.bytes_sent += packet.size_bytes
-        self.link.packets_sent += 1
-        self.sim.schedule(delay, self._transmit_done, packet)
-
-    def _transmit_done(self, packet: Packet) -> None:
-        self.busy = False
-        self.link.deliver(packet)
-        self.kick()

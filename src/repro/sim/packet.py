@@ -106,19 +106,22 @@ class Packet:
     #: Unique id, handy for debugging and for per-packet ECMP spraying.
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
-    @property
-    def size_bytes(self) -> int:
-        """Total wire size of the frame."""
-        if self.ptype is PacketType.DATA:
-            return self.payload_bytes + self.header_bytes
-        if self.ptype in (PacketType.PFC_PAUSE, PacketType.PFC_RESUME):
-            return PFC_FRAME_BYTES
-        return CONTROL_FRAME_BYTES
+    #: Total wire size of the frame, fixed at construction (every sizing
+    #: field is an init argument; post-construction mutation only touches
+    #: marking/acknowledgement fields).  Plain attributes because the
+    #: serialization path reads them per transmitted packet.
+    size_bytes: int = field(init=False, repr=False, default=0)
+    #: Total wire size in bits.
+    size_bits: int = field(init=False, repr=False, default=0)
 
-    @property
-    def size_bits(self) -> int:
-        """Total wire size in bits."""
-        return self.size_bytes * 8
+    def __post_init__(self) -> None:
+        if self.ptype is PacketType.DATA:
+            self.size_bytes = self.payload_bytes + self.header_bytes
+        elif self.ptype in (PacketType.PFC_PAUSE, PacketType.PFC_RESUME):
+            self.size_bytes = PFC_FRAME_BYTES
+        else:
+            self.size_bytes = CONTROL_FRAME_BYTES
+        self.size_bits = self.size_bytes * 8
 
     def is_control(self) -> bool:
         """True for ACK/NACK/CNP frames (not data, not PFC)."""

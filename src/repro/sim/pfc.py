@@ -44,12 +44,15 @@ def headroom_for_link(bandwidth_bps: float, prop_delay_s: float, mtu_bytes: int 
 
     The headroom must cover one propagation delay of data at line rate in each
     direction (the time for the pause to reach the sender plus the data already
-    on the wire), the packet that had already started transmission when the
-    threshold was crossed, the packet that starts just before the pause frame
-    arrives, and the pause frame's own serialization time.
+    on the wire), the departure batch the upstream port had already committed
+    to its MAC when the threshold was crossed (``DEFAULT_PORT_BATCH`` packets,
+    see :mod:`repro.sim.link`), the batch that starts just before the pause
+    frame arrives, and the pause frame's own serialization time.
     """
+    from repro.sim.link import DEFAULT_PORT_BATCH
+
     in_flight = 2.0 * bandwidth_bps * prop_delay_s / 8.0
-    return int(in_flight + 3 * mtu_bytes + 64)
+    return int(in_flight + (2 * DEFAULT_PORT_BATCH + 1) * mtu_bytes + 64)
 
 
 class PfcState:

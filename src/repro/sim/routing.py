@@ -82,6 +82,9 @@ class EcmpRouting:
 
     def __init__(self, next_hops: Dict[str, Dict[str, List[str]]]) -> None:
         self._next_hops = next_hops
+        # ECMP is a pure function of (switch, destination, flow); memoize it
+        # so the per-packet cost is one dict probe instead of a CRC32 hash.
+        self._hop_cache: Dict[tuple, str] = {}
 
     def candidates(self, node_name: str, dst: str) -> List[str]:
         """All equal-cost next hops from ``node_name`` toward ``dst``."""
@@ -91,11 +94,16 @@ class EcmpRouting:
             raise KeyError(f"no route from {node_name} to {dst}") from exc
 
     def next_hop(self, node: "Switch", packet: Packet) -> str:
-        options = self.candidates(node.name, packet.dst)
-        if len(options) == 1:
-            return options[0]
-        index = stable_hash(packet.flow_id, node.name) % len(options)
-        return options[index]
+        key = (node.name, packet.dst, packet.flow_id)
+        hop = self._hop_cache.get(key)
+        if hop is None:
+            options = self.candidates(node.name, packet.dst)
+            if len(options) == 1:
+                hop = options[0]
+            else:
+                hop = options[stable_hash(packet.flow_id, node.name) % len(options)]
+            self._hop_cache[key] = hop
+        return hop
 
     def path(self, src: str, dst: str, flow_id: int) -> List[str]:
         """The sequence of node names a flow's packets traverse (src..dst)."""

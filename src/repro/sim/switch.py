@@ -57,12 +57,16 @@ class SwitchConfig:
 class _InputPort:
     """Buffer and VOQs for one incoming link."""
 
-    def __init__(self, link: Link, buffer_bytes: int) -> None:
+    def __init__(self, link: Link, buffer_bytes: int, pfc_config: PfcConfig) -> None:
         self.link = link
         self.buffer_bytes = buffer_bytes
         self.occupancy = 0
         self.voqs: Dict[OutputPort, Deque[Packet]] = {}
         self.pfc = PfcState()
+        # Thresholds are pure functions of the (fixed) buffer size; computed
+        # once here instead of per received packet.
+        self.pause_threshold = pfc_config.pause_threshold(buffer_bytes)
+        self.resume_threshold = pfc_config.resume_threshold(buffer_bytes)
 
     def voq(self, port: OutputPort) -> Deque[Packet]:
         queue = self.voqs.get(port)
@@ -89,6 +93,7 @@ class Switch:
 
         self.output_ports: Dict[str, OutputPort] = {}   # neighbor name -> port
         self.input_ports: Dict[Link, _InputPort] = {}   # incoming link -> input port
+        self._in_port_list: List[_InputPort] = []       # stable scan order for RR
         self._rr_pointer: Dict[OutputPort, int] = {}    # round-robin state
         self._out_queue_bytes: Dict[OutputPort, int] = {}
 
@@ -113,7 +118,9 @@ class Switch:
 
     def add_input_link(self, link: Link) -> None:
         """Register an incoming link (creates its input-port buffer)."""
-        self.input_ports[link] = _InputPort(link, self.config.buffer_bytes_per_port)
+        in_port = _InputPort(link, self.config.buffer_bytes_per_port, self.config.pfc)
+        self.input_ports[link] = in_port
+        self._in_port_list.append(in_port)
 
     def port_towards(self, neighbor_name: str) -> OutputPort:
         """The output port facing ``neighbor_name``."""
@@ -148,15 +155,15 @@ class Switch:
             self.bytes_dropped += packet.size_bytes
             return
 
-        self._maybe_mark_ecn(packet, out_port)
+        if self.config.ecn.enabled:
+            self._maybe_mark_ecn(packet, out_port)
 
         in_port.voq(out_port).append(packet)
         in_port.occupancy += packet.size_bytes
         self._out_queue_bytes[out_port] += packet.size_bytes
 
         if self.config.pfc.enabled:
-            threshold = self.config.pfc.pause_threshold(in_port.buffer_bytes)
-            if in_port.pfc.should_pause(in_port.occupancy, threshold):
+            if in_port.pfc.should_pause(in_port.occupancy, in_port.pause_threshold):
                 in_port.pfc.mark_paused()
                 self.pause_frames_sent += 1
                 self._send_pfc(link, PacketType.PFC_PAUSE)
@@ -168,7 +175,12 @@ class Switch:
     # ------------------------------------------------------------------
     def next_packet(self, port: OutputPort) -> Optional[Packet]:
         """Round-robin over input ports with traffic queued for ``port``."""
-        in_ports = list(self.input_ports.values())
+        if not self._out_queue_bytes[port]:
+            # Nothing queued for this output anywhere: O(1) miss.  Departure
+            # batching probes until the source runs dry, so misses are as
+            # frequent as batches and must not scan every input port.
+            return None
+        in_ports = self._in_port_list
         if not in_ports:
             return None
         start = self._rr_pointer.get(port, 0) % len(in_ports)
@@ -204,7 +216,7 @@ class Switch:
 
     def _maybe_mark_ecn(self, packet: Packet, out_port: OutputPort) -> None:
         ecn = self.config.ecn
-        if not ecn.enabled or packet.ptype is not PacketType.DATA:
+        if packet.ptype is not PacketType.DATA:
             return
         depth = self._out_queue_bytes[out_port]
         if ecn.step_marking:
@@ -226,8 +238,7 @@ class Switch:
     def _maybe_resume(self, in_port: _InputPort) -> None:
         if not self.config.pfc.enabled:
             return
-        threshold = self.config.pfc.resume_threshold(in_port.buffer_bytes)
-        if in_port.pfc.should_resume(in_port.occupancy, threshold):
+        if in_port.pfc.should_resume(in_port.occupancy, in_port.resume_threshold):
             in_port.pfc.mark_resumed()
             self.resume_frames_sent += 1
             self._send_pfc(in_port.link, PacketType.PFC_RESUME)

@@ -1,17 +1,35 @@
-"""Tests for the discrete-event engine."""
+"""Tests for the discrete-event engine (both scheduler cores).
+
+Everything in the shared contract -- ordering, cancellation, ``run``
+control, ``until``/``max_events`` semantics, cancellation accounting -- runs
+against **both** the heap core and the calendar/timer-wheel core via the
+``sim`` fixture.  Core-specific structure tests (heap compaction, calendar
+window rotation, wheel flushing) live in their own classes.
+"""
 
 import pytest
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import _COMPACT_MIN_SIZE, Simulator
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def make_sim(request):
+    """Factory for a simulator of each core (``make_sim(seed=...)``)."""
+
+    def factory(**kwargs):
+        kwargs.setdefault("queue", request.param)
+        return Simulator(**kwargs)
+
+    factory.queue = request.param
+    return factory
 
 
 class TestScheduling:
-    def test_starts_at_time_zero(self):
-        sim = Simulator()
-        assert sim.now == 0.0
+    def test_starts_at_time_zero(self, make_sim):
+        assert make_sim().now == 0.0
 
-    def test_events_run_in_time_order(self):
-        sim = Simulator()
+    def test_events_run_in_time_order(self, make_sim):
+        sim = make_sim()
         order = []
         sim.schedule(3e-6, order.append, "c")
         sim.schedule(1e-6, order.append, "a")
@@ -19,41 +37,40 @@ class TestScheduling:
         sim.run_until_idle()
         assert order == ["a", "b", "c"]
 
-    def test_simultaneous_events_run_fifo(self):
-        sim = Simulator()
+    def test_simultaneous_events_run_fifo(self, make_sim):
+        sim = make_sim()
         order = []
         for label in "abcde":
             sim.schedule(1e-6, order.append, label)
         sim.run_until_idle()
         assert order == list("abcde")
 
-    def test_clock_advances_to_event_time(self):
-        sim = Simulator()
+    def test_clock_advances_to_event_time(self, make_sim):
+        sim = make_sim()
         sim.schedule(5e-6, lambda: None)
         sim.run_until_idle()
         assert sim.now == pytest.approx(5e-6)
 
-    def test_schedule_at_absolute_time(self):
-        sim = Simulator()
+    def test_schedule_at_absolute_time(self, make_sim):
+        sim = make_sim()
         times = []
         sim.schedule_at(2e-6, lambda: times.append(sim.now))
         sim.run_until_idle()
         assert times == [pytest.approx(2e-6)]
 
-    def test_negative_delay_rejected(self):
-        sim = Simulator()
+    def test_negative_delay_rejected(self, make_sim):
         with pytest.raises(ValueError):
-            sim.schedule(-1e-6, lambda: None)
+            make_sim().schedule(-1e-6, lambda: None)
 
-    def test_scheduling_in_the_past_rejected(self):
-        sim = Simulator()
+    def test_scheduling_in_the_past_rejected(self, make_sim):
+        sim = make_sim()
         sim.schedule(1e-6, lambda: None)
         sim.run_until_idle()
         with pytest.raises(ValueError):
             sim.schedule_at(0.0, lambda: None)
 
-    def test_events_can_schedule_more_events(self):
-        sim = Simulator()
+    def test_events_can_schedule_more_events(self, make_sim):
+        sim = make_sim()
         seen = []
 
         def chain(depth):
@@ -66,30 +83,111 @@ class TestScheduling:
         assert seen == list(range(6))
         assert sim.now == pytest.approx(5e-6)
 
+    def test_zero_delay_events_run_after_current(self, make_sim):
+        sim = make_sim()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, order.append, "nested")
+
+        sim.schedule(1e-6, first)
+        sim.schedule(1e-6, order.append, "second")
+        sim.run_until_idle()
+        # The nested zero-delay event shares the timestamp but was scheduled
+        # last, so FIFO ordering puts it after "second".
+        assert order == ["first", "second", "nested"]
+
+
+class TestTimers:
+    """``set_timer`` -- the cancellable-timer API backed by the wheel."""
+
+    def test_timer_fires_at_deadline(self, make_sim):
+        sim = make_sim()
+        times = []
+        sim.set_timer(320e-6, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert times == [pytest.approx(320e-6)]
+
+    def test_cancelled_timer_does_not_fire(self, make_sim):
+        sim = make_sim()
+        ran = []
+        timer = sim.set_timer(320e-6, ran.append, "x")
+        sim.cancel(timer)
+        sim.schedule(1e-3, ran.append, "end")
+        sim.run_until_idle()
+        assert ran == ["end"]
+
+    def test_negative_timer_delay_rejected(self, make_sim):
+        with pytest.raises(ValueError):
+            make_sim().set_timer(-1e-6, lambda: None)
+
+    def test_timer_in_the_past_rejected(self, make_sim):
+        sim = make_sim()
+        sim.schedule(1e-3, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.set_timer_at(0.5e-3, lambda: None)
+
+    def test_timers_interleave_with_events_in_time_order(self, make_sim):
+        sim = make_sim()
+        order = []
+        sim.schedule(100e-6, order.append, "event-100us")
+        sim.set_timer(50e-6, order.append, "timer-50us")
+        sim.schedule(10e-6, order.append, "event-10us")
+        sim.set_timer(200e-6, order.append, "timer-200us")
+        sim.run_until_idle()
+        assert order == ["event-10us", "timer-50us", "event-100us", "timer-200us"]
+
+    def test_same_time_timer_and_event_keep_fifo_order(self, make_sim):
+        sim = make_sim()
+        order = []
+        sim.set_timer(70e-6, order.append, "timer-first")
+        sim.schedule(70e-6, order.append, "event-second")
+        sim.set_timer(70e-6, order.append, "timer-third")
+        sim.run_until_idle()
+        assert order == ["timer-first", "event-second", "timer-third"]
+
+    def test_rearm_pattern(self, make_sim):
+        """The transports' set-cancel-rearm RTO pattern fires only the last."""
+        sim = make_sim()
+        fired = []
+        timer = None
+
+        def rearm(step):
+            nonlocal timer
+            if timer is not None:
+                sim.cancel(timer)
+            timer = sim.set_timer(320e-6, fired.append, step)
+
+        for step in range(50):
+            sim.schedule(step * 1e-6, rearm, step)
+        sim.run_until_idle()
+        assert fired == [49]
+
 
 class TestCancellation:
-    def test_cancelled_event_does_not_run(self):
-        sim = Simulator()
+    def test_cancelled_event_does_not_run(self, make_sim):
+        sim = make_sim()
         ran = []
         event = sim.schedule(1e-6, ran.append, "x")
         event.cancel()
         sim.run_until_idle()
         assert ran == []
 
-    def test_cancel_via_simulator_helper(self):
-        sim = Simulator()
+    def test_cancel_via_simulator_helper(self, make_sim):
+        sim = make_sim()
         ran = []
         event = sim.schedule(1e-6, ran.append, "x")
         sim.cancel(event)
         sim.run_until_idle()
         assert ran == []
 
-    def test_cancel_none_is_noop(self):
-        sim = Simulator()
-        sim.cancel(None)
+    def test_cancel_none_is_noop(self, make_sim):
+        make_sim().cancel(None)
 
-    def test_other_events_unaffected_by_cancellation(self):
-        sim = Simulator()
+    def test_other_events_unaffected_by_cancellation(self, make_sim):
+        sim = make_sim()
         ran = []
         event = sim.schedule(1e-6, ran.append, "a")
         sim.schedule(2e-6, ran.append, "b")
@@ -99,8 +197,8 @@ class TestCancellation:
 
 
 class TestRunControl:
-    def test_run_until_stops_before_later_events(self):
-        sim = Simulator()
+    def test_run_until_stops_before_later_events(self, make_sim):
+        sim = make_sim()
         ran = []
         sim.schedule(1e-6, ran.append, "a")
         sim.schedule(10e-6, ran.append, "b")
@@ -110,21 +208,39 @@ class TestRunControl:
         sim.run_until_idle()
         assert ran == ["a", "b"]
 
-    def test_run_until_advances_clock_when_queue_is_empty(self):
-        sim = Simulator()
+    def test_run_until_advances_clock_when_queue_is_empty(self, make_sim):
+        sim = make_sim()
         sim.run(until=1e-3)
         assert sim.now == pytest.approx(1e-3)
 
-    def test_max_events_limits_execution(self):
-        sim = Simulator()
+    def test_run_until_stops_before_pending_timer(self, make_sim):
+        sim = make_sim()
+        ran = []
+        sim.set_timer(400e-6, ran.append, "late-timer")
+        sim.run(until=100e-6)
+        assert ran == []
+        assert sim.now == pytest.approx(100e-6)
+        sim.run_until_idle()
+        assert ran == ["late-timer"]
+
+    def test_run_until_executes_due_timer(self, make_sim):
+        sim = make_sim()
+        ran = []
+        sim.set_timer(50e-6, ran.append, "due")
+        sim.run(until=100e-6)
+        assert ran == ["due"]
+        assert sim.now == pytest.approx(100e-6)
+
+    def test_max_events_limits_execution(self, make_sim):
+        sim = make_sim()
         ran = []
         for i in range(10):
             sim.schedule(i * 1e-6, ran.append, i)
         sim.run(max_events=3)
         assert ran == [0, 1, 2]
 
-    def test_stop_terminates_the_loop(self):
-        sim = Simulator()
+    def test_stop_terminates_the_loop(self, make_sim):
+        sim = make_sim()
         ran = []
         sim.schedule(1e-6, ran.append, "a")
         sim.schedule(2e-6, sim.stop)
@@ -132,8 +248,8 @@ class TestRunControl:
         sim.run_until_idle()
         assert ran == ["a"]
 
-    def test_events_processed_counter(self):
-        sim = Simulator()
+    def test_events_processed_counter(self, make_sim):
+        sim = make_sim()
         for i in range(4):
             sim.schedule(i * 1e-6, lambda: None)
         sim.run_until_idle()
@@ -148,8 +264,8 @@ class TestRunControl:
 
 
 class TestCancelledEventAccounting:
-    def test_cancelled_pops_counted_separately(self):
-        sim = Simulator()
+    def test_cancelled_pops_counted_separately(self, make_sim):
+        sim = make_sim()
         ran = []
         keep = sim.schedule(1e-6, ran.append, "a")
         for _ in range(5):
@@ -160,8 +276,20 @@ class TestCancelledEventAccounting:
         assert sim.events_processed == 1
         assert sim.events_cancelled == 5
 
-    def test_max_events_counts_only_executed_events(self):
-        sim = Simulator()
+    def test_cancelled_timers_counted_in_events_cancelled(self, make_sim):
+        """Wheel cancellations land in the same counter as heap tombstones."""
+        sim = make_sim()
+        ran = []
+        for i in range(20):
+            sim.cancel(sim.set_timer(100e-6 + i * 1e-6, ran.append, "dead"))
+        sim.set_timer(500e-6, ran.append, "live")
+        sim.run_until_idle()
+        assert ran == ["live"]
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 20
+
+    def test_max_events_counts_only_executed_events(self, make_sim):
+        sim = make_sim()
         ran = []
         # Interleave tombstones before each live event; max_events must budget
         # the *executed* events, not the discarded tombstones.
@@ -173,31 +301,41 @@ class TestCancelledEventAccounting:
         assert sim.events_processed == 3
         assert sim.events_cancelled >= 3
 
-    def test_tombstone_only_heap_drains_without_consuming_the_valve(self):
-        sim = Simulator()
+    def test_tombstone_only_queue_drains_without_consuming_the_valve(self, make_sim):
+        sim = make_sim()
         for i in range(10_000):
             sim.cancel(sim.schedule(i * 1e-9, lambda: None))
         sim.run(max_events=10)
-        # Tombstones never execute: the valve is untouched, the heap drains,
+        # Tombstones never execute: the valve is untouched, the queue drains,
         # and every discard is accounted for.
         assert sim.events_processed == 0
         assert sim.events_cancelled + sim.pending_events == 10_000
         assert sim.pending_events == 0
 
-    def test_clock_advance_sees_through_tombstone_head(self):
-        sim = Simulator()
+    def test_clock_advance_sees_through_tombstone_head(self, make_sim):
+        sim = make_sim()
         ran = []
         sim.schedule(1.0, ran.append, "a")
         sim.cancel(sim.schedule(2.0, ran.append, "dead"))
         sim.schedule(20.0, ran.append, "b")
-        # Valve trips with a tombstone at the heap head; no *live* event at
+        # Valve trips with a tombstone at the queue head; no *live* event at
         # or before `until` remains, so the clock must still advance.
         sim.run(until=10.0, max_events=1)
         assert ran == ["a"]
         assert sim.now == pytest.approx(10.0)
 
-    def test_max_events_not_consumed_by_heavy_tombstone_interleaving(self):
-        sim = Simulator()
+    def test_clock_advance_sees_through_cancelled_timer(self, make_sim):
+        sim = make_sim()
+        ran = []
+        sim.schedule(1e-6, ran.append, "a")
+        sim.cancel(sim.set_timer(5e-3, ran.append, "dead-timer"))
+        sim.run(until=1.0)
+        assert ran == ["a"]
+        # The only remaining entry is a cancelled timer: advance to `until`.
+        assert sim.now == pytest.approx(1.0)
+
+    def test_max_events_not_consumed_by_heavy_tombstone_interleaving(self, make_sim):
+        sim = make_sim()
         ran = []
         # 3 tombstones per live event: the valve must still admit exactly
         # max_events *executed* events, not stop early on discards.
@@ -209,24 +347,47 @@ class TestCancelledEventAccounting:
         assert ran == [0, 1, 2, 3, 4, 5]
         assert sim.events_processed == 6
 
+    def test_resume_after_max_events_continues_exactly(self, make_sim):
+        sim = make_sim()
+        ran = []
+        for i in range(10):
+            sim.schedule(i * 1e-6, ran.append, i)
+            sim.cancel(sim.schedule(i * 1e-6 + 1e-9, ran.append, "dead"))
+        sim.run(max_events=4)
+        assert ran == [0, 1, 2, 3]
+        sim.run(max_events=4)
+        assert ran == [0, 1, 2, 3, 4, 5, 6, 7]
+        sim.run_until_idle()
+        assert ran == list(range(10))
+        assert sim.events_processed == 10
+        assert sim.events_cancelled == 10
 
-class TestHeapCompaction:
-    def test_mass_cancellation_compacts_the_heap(self):
-        from repro.sim.engine import _COMPACT_MIN_SIZE
 
-        sim = Simulator()
+class TestMassCancellationMemory:
+    """The set-then-cancel churn must not grow memory without bound."""
+
+    def test_mass_cancellation_is_compacted(self, make_sim):
+        sim = make_sim()
         total = 4 * _COMPACT_MIN_SIZE
-        # Set-then-cancel churn (the transports' RTO pattern): the heap must
-        # stay bounded by the compaction watermark instead of growing with
-        # every tombstone ever scheduled.
+        # Set-then-cancel churn (the transports' RTO pattern): the pending
+        # population must stay bounded by the compaction/sweep watermark
+        # instead of growing with every tombstone ever scheduled.
         for i in range(total):
             sim.cancel(sim.schedule(1e-3 + i * 1e-9, lambda: None))
         assert sim.pending_events <= _COMPACT_MIN_SIZE
         # Every tombstone is either compacted away (counted) or still queued.
         assert sim.events_cancelled + sim.pending_events == total
 
-    def test_compaction_preserves_order_and_results(self):
-        sim = Simulator()
+    def test_mass_timer_cancellation_is_compacted(self, make_sim):
+        sim = make_sim()
+        total = 4 * _COMPACT_MIN_SIZE
+        for i in range(total):
+            sim.cancel(sim.set_timer(10e-3 + i * 1e-9, lambda: None))
+        assert sim.pending_events <= _COMPACT_MIN_SIZE
+        assert sim.events_cancelled + sim.pending_events == total
+
+    def test_compaction_preserves_order_and_results(self, make_sim):
+        sim = make_sim()
         ran = []
         live = []
         for i in range(5000):
@@ -238,3 +399,119 @@ class TestHeapCompaction:
         sim.run_until_idle()
         assert ran == live
         assert sim.events_processed == len(live)
+
+
+class TestCalendarStructure:
+    """Calendar-core specifics: window rotation, overflow band, wheel."""
+
+    def test_overflow_band_migrates_into_buckets(self):
+        # 8 buckets x 1us window: events at 100..140us start in the overflow
+        # band and must migrate into buckets as the window rotates onto them.
+        sim = Simulator(queue="calendar", bucket_width_s=1e-6, num_buckets=8)
+        ran = []
+        for i in range(40, 0, -1):
+            sim.schedule(100e-6 + i * 1e-6, ran.append, i)
+        assert len(sim._overflow) > 0
+        sim.run_until_idle()
+        assert ran == list(range(1, 41))
+
+    def test_far_future_jump_skips_empty_windows(self):
+        sim = Simulator(queue="calendar", bucket_width_s=1e-6, num_buckets=8)
+        ran = []
+        sim.schedule(1e-6, ran.append, "near")
+        sim.schedule(3.0, ran.append, "far")   # ~3M buckets ahead
+        sim.run_until_idle()
+        assert ran == ["near", "far"]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_events_within_current_bucket_insort(self):
+        sim = Simulator(queue="calendar", bucket_width_s=10e-6, num_buckets=8)
+        order = []
+
+        def first():
+            order.append("first")
+            # Absolute time 2us: lands in the *currently draining* bucket,
+            # before the pre-scheduled 2.5us event.
+            sim.schedule(1e-6, order.append, "nested")
+
+        sim.schedule(1e-6, first)
+        sim.schedule(2.5e-6, order.append, "second")
+        sim.run_until_idle()
+        assert order == ["first", "nested", "second"]
+
+    def test_wheel_slot_flush_preserves_order(self):
+        sim = Simulator(queue="calendar", wheel_slot_s=64e-6)
+        order = []
+        # Two timers in one wheel slot, scheduled out of time order.
+        sim.set_timer(130e-6, order.append, "later")
+        sim.set_timer(129e-6, order.append, "earlier")
+        sim.schedule(131e-6, order.append, "event")
+        sim.run_until_idle()
+        assert order == ["earlier", "later", "event"]
+
+    def test_timer_into_flushed_slot_becomes_regular_event(self):
+        sim = Simulator(queue="calendar", wheel_slot_s=64e-6)
+        order = []
+
+        def late_set():
+            # now == 100us: slot 1 (64..128us) has been flushed; a timer for
+            # 110us must still fire, as a regular event.
+            sim.set_timer(10e-6, order.append, "late-timer")
+
+        sim.schedule(100e-6, late_set)
+        sim.run_until_idle()
+        assert order == ["late-timer"]
+        assert sim.now == pytest.approx(110e-6)
+
+    def test_pending_events_spans_all_bands(self):
+        sim = Simulator(queue="calendar", bucket_width_s=1e-6, num_buckets=8)
+        sim.schedule(1e-6, lambda: None)     # bucket
+        sim.schedule(1e-3, lambda: None)     # overflow band
+        sim.set_timer(320e-6, lambda: None)  # wheel
+        assert sim.pending_events == 3
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 3
+
+    def test_sweep_then_rebase_does_not_resurrect_stale_bucket_heads(self):
+        # Regression: a sweep that empties a bucket used to leave its index
+        # in the occupied-bucket heads heap; after a window rebase a later
+        # bucket aliasing the same slot (mod num_buckets) could then be
+        # loaded under the stale (smaller) index, executing far-future
+        # events early and driving the clock backwards.
+        sim = Simulator(queue="calendar", bucket_width_s=1e-6, num_buckets=256)
+        from repro.sim.engine import _COMPACT_MIN_SIZE
+
+        # Fill bucket 10 with cancel-churn so the sweep empties it but its
+        # head entry (index 10) survives.
+        for _ in range(_COMPACT_MIN_SIZE - 1):
+            sim.cancel(sim.schedule_at(10.5e-6, lambda: None))
+        order = []
+        # 290.5us rebases the window past bucket 255; 522.5us lands in
+        # bucket 522, which aliases slot 522 & 255 == 10.
+        sim.schedule_at(522.5e-6, order.append, "late")
+        sim.schedule_at(290.5e-6, order.append, "early")
+        times = []
+        sim.schedule_at(522.5e-6, lambda: times.append(sim.now))
+        sim.schedule_at(290.5e-6, lambda: times.append(sim.now))
+        sim.run_until_idle()
+        assert order == ["early", "late"]
+        assert times == sorted(times)
+
+    def test_invalid_tuning_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(queue="calendar", bucket_width_s=0.0)
+        with pytest.raises(ValueError):
+            Simulator(queue="calendar", wheel_slot_s=-1e-6)
+        with pytest.raises(ValueError):
+            Simulator(queue="calendar", num_buckets=0)
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator(queue="heap")
+        total = 4 * _COMPACT_MIN_SIZE
+        for i in range(total):
+            sim.cancel(sim.schedule(1e-3 + i * 1e-9, lambda: None))
+        assert sim.pending_events <= _COMPACT_MIN_SIZE
+        assert sim.events_cancelled + sim.pending_events == total

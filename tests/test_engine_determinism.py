@@ -1,0 +1,104 @@
+"""Cross-core determinism: the calendar queue must replay the heap exactly.
+
+The calendar/timer-wheel core reorders nothing: every pop yields the
+globally minimal ``(time, seq)``, so a full experiment must produce
+byte-for-byte identical results under ``queue="heap"`` and
+``queue="calendar"``.  These tests pin that contract on real figure cells
+(fig1's two schemes and a fig8 transport cell), comparing the *entire*
+serialized :class:`ResultRow` -- headline metrics, fabric counters and the
+quantile-digest payloads -- per seed.
+
+This is what keeps ``ExperimentConfig`` fingerprints engine-agnostic: a
+cached row is valid no matter which core computed it.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import scenario
+from repro.sim.engine import Simulator, _CalendarSimulator, _HeapSimulator
+
+
+def _row_for(config, queue, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", queue)
+    return run_experiment(config).to_row(label=config.name).to_dict()
+
+
+def _scaled_cells(name, **overrides):
+    spec = scenario(name)
+    return spec.configs(**overrides)
+
+
+class TestEngineSelection:
+    def test_default_is_calendar(self):
+        assert isinstance(Simulator(), _CalendarSimulator)
+        assert Simulator().queue_kind == "calendar"
+
+    def test_heap_escape_hatch(self):
+        assert isinstance(Simulator(queue="heap"), _HeapSimulator)
+        assert Simulator(queue="heap").queue_kind == "heap"
+
+    def test_env_var_selects_core(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert Simulator().queue_kind == "heap"
+        monkeypatch.setenv("REPRO_ENGINE", "calendar")
+        assert Simulator().queue_kind == "calendar"
+
+    def test_explicit_queue_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert Simulator(queue="calendar").queue_kind == "calendar"
+
+    def test_unknown_queue_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine queue"):
+            Simulator(queue="wheelbarrow")
+
+
+class TestUnitEventOrderIdentity:
+    """Both cores must execute one synthetic stream in the same order."""
+
+    def _drive(self, queue):
+        sim = Simulator(seed=3, queue=queue, bucket_width_s=0.7e-6, num_buckets=16)
+        order = []
+
+        def emit(tag):
+            order.append((round(sim.now * 1e9), tag))
+
+        def burst(base, tag):
+            # Same-time FIFO ties, cross-bucket spreads, overflow-band times,
+            # and timers that interleave with regular events.
+            for k in range(4):
+                sim.schedule(base + k * 0.3e-6, emit, f"{tag}-s{k}")
+            sim.set_timer(base + 0.45e-6, emit, f"{tag}-t")
+            dead = sim.set_timer(base + 200e-6, emit, f"{tag}-dead")
+            sim.schedule(base + 50e-6, emit, f"{tag}-far")
+            sim.cancel(dead)
+
+        for i in range(40):
+            sim.schedule(i * 1.1e-6, burst, i * 0.05e-6, f"b{i}")
+        sim.run_until_idle()
+        return order, sim.events_processed, sim.events_cancelled
+
+    def test_heap_and_calendar_agree(self):
+        heap_order, heap_n, heap_c = self._drive("heap")
+        cal_order, cal_n, cal_c = self._drive("calendar")
+        assert heap_order == cal_order
+        assert heap_n == cal_n
+        # Both cores eventually discard every cancelled timer.
+        assert heap_c == cal_c
+
+
+class TestExperimentIdentity:
+    """Per-seed ResultRow metrics are identical across scheduler cores."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fig1_cells_identical_across_cores(self, monkeypatch, seed):
+        for label, config in _scaled_cells("fig1", num_flows=40, seed=seed).items():
+            heap_row = _row_for(config, "heap", monkeypatch)
+            calendar_row = _row_for(config, "calendar", monkeypatch)
+            assert heap_row == calendar_row, f"{label} diverged between cores"
+
+    def test_fig8_cell_identical_across_cores(self, monkeypatch):
+        label, config = next(iter(_scaled_cells("fig8", num_flows=40).items()))
+        heap_row = _row_for(config, "heap", monkeypatch)
+        calendar_row = _row_for(config, "calendar", monkeypatch)
+        assert heap_row == calendar_row, f"{label} diverged between cores"

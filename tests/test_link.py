@@ -13,9 +13,11 @@ class SinkNode:
     def __init__(self, name):
         self.name = name
         self.received = []
+        self.received_times = []
 
     def receive(self, packet, link):
         self.received.append(packet)
+        self.received_times.append(link.sim.now)
 
 
 class QueueSource:
@@ -120,12 +122,70 @@ class TestOutputPort:
     def test_pause_lets_in_flight_packet_finish(self):
         sim = Simulator()
         _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        port.max_batch_packets = 1  # pin the classic one-packet-in-flight model
         source.queue.extend([data_packet(1000), data_packet(1000)])
         port.kick()
         # Pause mid-transmission of the first packet.
         sim.schedule(0.5e-6, port.pause)
         sim.run_until_idle()
         assert len(dst.received) == 1
+
+    def test_pause_lets_committed_batch_finish(self):
+        # Departure batching commits up to max_batch_packets to the MAC in
+        # one pull; a pause landing mid-batch stops the *next* pull, not the
+        # committed frames (the PFC headroom budgets for exactly this).
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.extend(data_packet(1000) for _ in range(8))
+        port.kick()
+        sim.schedule(0.5e-6, port.pause)
+        sim.run_until_idle()
+        assert len(dst.received) == port.max_batch_packets
+        assert port.batches_sent == 1
+
+    def test_same_time_kick_and_pull_do_not_double_commit(self):
+        # Race regression: a kick event firing at exactly the wire-free time
+        # but *before* the port's own wake-up pull (earlier seq) starts a new
+        # batch; the stale wake-up must then re-arm, not commit the wire a
+        # second time at the same instant (which would interleave two batches
+        # and reorder the flow).
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        port.max_batch_packets = 2
+        # The external kick is scheduled FIRST so it outranks the follow-up
+        # pull the port schedules when its batch limit trips.
+        sim.schedule_at(2e-6, port.kick)
+        source.queue.extend(data_packet(1000) for _ in range(6))
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 6
+        # Strictly serialized: one packet per serialization time, no overlap.
+        assert dst.received_times == pytest.approx([i * 1e-6 for i in range(1, 7)])
+
+    def test_batched_packets_are_stamped_at_serialization_start(self):
+        # RTT consumers (Timely, iWARP's RTO estimator) read sent_time via
+        # the receiver's echo; batch members must carry their wire-start
+        # times, not the shared pull timestamp.
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.extend(data_packet(1000) for _ in range(3))
+        port.kick()
+        sim.run_until_idle()
+        assert [p.sent_time for p in dst.received] == pytest.approx(
+            [0.0, 1e-6, 2e-6]
+        )
+
+    def test_batch_limit_schedules_follow_up_pull(self):
+        sim = Simulator()
+        _, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        source.queue.extend(data_packet(1000) for _ in range(10))
+        port.kick()
+        sim.run_until_idle()
+        # All packets drain without any external kicks, in ceil(10/4) pulls.
+        assert len(dst.received) == 10
+        assert port.batches_sent == 3
+        # Back-to-back serialization: arrivals 1us apart at 8Gbps/1kB.
+        assert dst.received_times == pytest.approx([i * 1e-6 for i in range(1, 11)])
 
     def test_control_direct_bypasses_pause(self):
         sim = Simulator()

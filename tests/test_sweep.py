@@ -1,5 +1,6 @@
 """Tests for the parallel sweep subsystem (grid, cache, runner, aggregation)."""
 
+import os
 import pickle
 
 import pytest
@@ -406,3 +407,70 @@ class TestAggregation:
         (record,) = aggregate_rows([legacy], by=("transport",))
         assert record["replicas"] == 1
         assert "fct_p99_s" not in record
+
+
+class TestPlugins:
+    """REPRO_PLUGINS: worker processes import named modules before cells."""
+
+    PLUGIN = '''
+from repro.workload import WORKLOADS
+from repro.core.transport import Flow
+
+def _burst(config, hosts):
+    return [Flow(flow_id=i, src=hosts[0], dst=hosts[-1], size_bytes=5_000,
+                 start_time=i * 1e-5) for i in range(4)]
+
+if "plugin_burst" not in WORKLOADS.names():
+    WORKLOADS.register("plugin_burst", _burst)
+'''
+
+    @pytest.fixture()
+    def plugin_module(self, tmp_path, monkeypatch):
+        import sys
+
+        import repro.experiments.sweep as sweep_mod
+        from repro.workload import WORKLOADS
+
+        (tmp_path / "sweep_test_plugin.py").write_text(self.PLUGIN)
+        monkeypatch.syspath_prepend(str(tmp_path))
+        # PYTHONPATH so spawn-based worker processes can import it too.
+        monkeypatch.setenv(
+            "PYTHONPATH",
+            f"{tmp_path}{':' + os.environ['PYTHONPATH'] if os.environ.get('PYTHONPATH') else ''}",
+        )
+        monkeypatch.setenv("REPRO_PLUGINS", "sweep_test_plugin")
+        # Reset both the import memo and any leaked registration.
+        monkeypatch.setattr(sweep_mod, "_PLUGINS_IMPORTED", None)
+        yield "sweep_test_plugin"
+        WORKLOADS._entries.pop("plugin_burst", None)
+        sys.modules.pop("sweep_test_plugin", None)
+        sweep_mod._PLUGINS_IMPORTED = None
+
+    def test_import_plugins_imports_named_modules(self, plugin_module):
+        from repro.experiments.sweep import import_plugins
+        from repro.workload import WORKLOADS
+
+        assert import_plugins() == [plugin_module]
+        assert "plugin_burst" in WORKLOADS.names()
+        # Memoized: a second call is a no-op.
+        assert import_plugins() == []
+
+    def test_import_plugins_empty_is_noop(self, monkeypatch):
+        import repro.experiments.sweep as sweep_mod
+        from repro.experiments.sweep import import_plugins
+
+        monkeypatch.delenv("REPRO_PLUGINS", raising=False)
+        monkeypatch.setattr(sweep_mod, "_PLUGINS_IMPORTED", None)
+        assert import_plugins() == []
+
+    def test_parallel_sweep_with_plugin_workload(self, plugin_module):
+        # The coordinating process must NOT need the plugin pre-imported:
+        # _run_cell pulls it in (in workers under fork/spawn, in-process on
+        # the serial fallback).
+        configs = {
+            "plugin cell": tiny_config(workload="plugin_burst", num_flows=4),
+        }
+        sweep = run_sweep(configs, workers=2)
+        row = sweep["plugin cell"]
+        assert row.num_flows == 4
+        assert row.completion_fraction() == pytest.approx(1.0)

@@ -128,10 +128,9 @@ class TestPfcBehaviour:
             def __init__(self):
                 self.sent = 0
 
-            def has_packet_ready(self, now):
-                return self.sent < 30
-
             def next_packet(self, now):
+                if self.sent >= 30:
+                    return None
                 packet = data_packet(1, "h0", "h1", self.sent)
                 self.sent += 1
                 return packet
