@@ -8,7 +8,16 @@ Subcommands
     seed replicas and worker processes, served from a disk cache), and print
     the per-replica metric table, the per-cell aggregate table (means with
     95% confidence intervals, pooled tail percentiles) and, with ``--cdf``,
-    Figure 8-style tail CDFs.
+    Figure 8-style tail CDFs.  ``--backend queue --queue-dir DIR`` spools the
+    cells through a durable work queue that any number of ``repro worker``
+    processes (anywhere that sees the directory) drain; ``--follow`` streams
+    the partial per-cell aggregates as results land, and re-running the same
+    command resumes from the part-files already on disk.
+
+``worker <queue-dir>``
+    Lease and execute tasks from a queue directory until it drains (or
+    forever, without ``--drain``) -- the process you start on *other*
+    machines to shard a queue-backend sweep.
 
 ``list``
     Show every registered scenario with its description and shape.
@@ -17,7 +26,9 @@ Examples::
 
     python -m repro run fig1
     python -m repro run fig8 --seeds 3 --workers 4 --cache .sweep-cache/fig8 --cdf
-    python -m repro run fig1 --flows 60 --set target_load=0.9
+    python -m repro run fig1 --quick                 # seed 1 only, fast feedback
+    python -m repro run fig1 --backend queue --queue-dir /shared/q --follow
+    python -m repro worker /shared/q                 # on as many machines as you like
     python -m repro list
 
 (``--set`` applies to *every* cell; setting a field a scenario sweeps as its
@@ -81,6 +92,31 @@ def _print_report(spec: ScenarioSpec, sweep: SweepResult, show_cdf: bool) -> Non
             ))
 
 
+def _make_follow_printer(spec: ScenarioSpec):
+    """A ``run_sweep`` progress observer that streams converging aggregates.
+
+    Prints one line per completed cell with the *pooled* tail over every row
+    that has landed so far -- the point of ``--follow`` on a queue sweep is
+    watching those partial aggregates converge before the sweep finishes.
+    """
+    del spec  # the aggregate record itself carries the cell key
+
+    def follow(progress, row) -> None:
+        line = f"  [{progress.completed}/{progress.total}] {row.label}"
+        record = progress.last_update
+        if record is not None:
+            # The cell key is whatever the spec aggregates by (its leading
+            # ``by`` columns), so this renders for any aggregate_by policy.
+            cell = ", ".join(str(record[field]) for field in progress.by)
+            line += f"  ->  {cell}: replicas={record['replicas']}"
+            if "fct_p99_s" in record:
+                line += f" fct_p99_s={record['fct_p99_s']:.6f}"
+            line += f" avg_slowdown={record['avg_slowdown_mean']:.3f}"
+        print(line, flush=True)
+
+    return follow
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         spec = load_scenario(args.scenario)
@@ -105,17 +141,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("warning: --set name=... gives every cell the same name, so "
               "the per-cell aggregate table pools all of them together")
 
-    seeds: Optional[int] = args.seeds
+    if args.quick and args.seeds is not None:
+        raise SystemExit("--quick (seed 1 only) and --seeds are mutually exclusive")
+    seeds: Optional[int] = 1 if args.quick else args.seeds
     cache = None if args.no_cache else args.cache
-    sweep = spec.sweep(seeds=seeds, workers=args.workers, cache=cache, **overrides)
+
+    backend = args.backend
+    if backend == "queue":
+        from repro.experiments.queue import QueueBackend
+
+        queue_dir = args.queue_dir or f".repro-queue/{spec.name}"
+        backend = QueueBackend(queue_dir, workers=args.workers)
+        print(f"{spec.name}: queue backend at {queue_dir} "
+              f"(add workers anywhere with: python -m repro worker {queue_dir})")
+    elif args.queue_dir:
+        raise SystemExit("--queue-dir only applies with --backend queue")
+
+    progress = _make_follow_printer(spec) if args.follow else None
+    sweep = spec.sweep(
+        seeds=seeds, workers=args.workers, cache=cache,
+        backend=backend, progress=progress, **overrides,
+    )
 
     executed = sweep.runs_executed
     served = sweep.cache_hits
     print(f"{spec.name}: {len(sweep)} runs "
           f"({executed} simulated, {served} from cache, "
-          f"{sweep.workers_used} worker{'s' if sweep.workers_used != 1 else ''})")
+          f"{sweep.workers_used} worker{'s' if sweep.workers_used != 1 else ''}, "
+          f"{sweep.backend} backend)")
     print()
     _print_report(spec, sweep, show_cdf=args.cdf)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.queue import TaskQueue, default_worker_id, run_worker
+
+    queue = TaskQueue(args.queue_dir, lease_timeout_s=args.lease_timeout)
+    worker_id = default_worker_id()
+    counts = queue.counts()
+    print(f"worker {worker_id} draining {queue.directory} "
+          f"(tasks={counts['tasks']} leases={counts['leases']} "
+          f"parts={counts['parts']})", flush=True)
+    executed = run_worker(
+        queue,
+        cache=args.cache,
+        worker_id=worker_id,
+        poll_interval_s=args.poll,
+        drain=args.drain,
+        max_tasks=args.max_tasks,
+    )
+    print(f"worker {worker_id} done: {executed} cell(s) executed; "
+          f"spool now {queue.counts()}")
     return 0
 
 
@@ -158,7 +235,42 @@ def build_parser() -> argparse.ArgumentParser:
                           "(repeatable; value parsed as JSON when possible)")
     run.add_argument("--cdf", action="store_true",
                      help="also print single-packet latency tail CDFs")
+    run.add_argument("--quick", action="store_true",
+                     help="seed 1 only (bypass the scenario's seed axis "
+                          "for fast interactive runs)")
+    run.add_argument("--backend", default=None, metavar="NAME",
+                     help="execution backend: serial, process, or queue "
+                          "(default: process/serial per --workers)")
+    run.add_argument("--queue-dir", default=None, metavar="DIR",
+                     help="queue directory for --backend queue "
+                          "(default: .repro-queue/<scenario>)")
+    run.add_argument("--follow", action="store_true",
+                     help="stream partial per-cell aggregates as results land")
     run.set_defaults(func=_cmd_run)
+
+    worker = sub.add_parser(
+        "worker",
+        help="lease and execute sweep tasks from a queue directory",
+        description="Drain a queue-backend sweep: claim fingerprint-named "
+        "task files, run each through the shared result cache, and publish "
+        "durable ResultRow part-files.  Start as many of these as you like, "
+        "on any machine that sees the directory.",
+    )
+    worker.add_argument("queue_dir", help="the sweep's queue directory")
+    worker.add_argument("--cache", default=None, metavar="DIR",
+                        help="result cache directory (default: <queue-dir>/cache)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="idle re-poll interval (default: 0.5)")
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once no pending tasks remain "
+                             "(default: keep serving new tasks forever)")
+    worker.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                        help="exit after executing N cells")
+    worker.add_argument("--lease-timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="age after which another participant may "
+                             "reclaim this worker's leases (default: 600)")
+    worker.set_defaults(func=_cmd_worker)
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.set_defaults(func=_cmd_list)

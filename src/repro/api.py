@@ -42,7 +42,14 @@ from repro.congestion.factory import (
     register_congestion_control,
 )
 from repro.core.factory import TRANSPORTS, TransportKind, register_transport
+from repro.experiments.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    SweepProgress,
+    register_execution_backend,
+)
 from repro.experiments.config import CongestionControl, ExperimentConfig
+from repro.experiments.queue import QueueBackend, TaskQueue, run_worker
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.spec import (
     SCENARIOS,
@@ -57,6 +64,7 @@ from repro.experiments.sweep import (
     aggregate_rows,
     run_sweep,
 )
+from repro.metrics.partial import PartialAggregator, aggregate_partial
 from repro.metrics.report import (
     format_aggregate_table,
     format_incast_table,
@@ -74,18 +82,27 @@ __all__ = [
     "load_scenario",
     "register_scenario",
     # execution
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
     "ExperimentConfig",
     "ExperimentResult",
     "ParameterGrid",
+    "QueueBackend",
     "ResultCache",
+    "SweepProgress",
     "SweepResult",
+    "TaskQueue",
+    "aggregate_partial",
     "aggregate_rows",
+    "register_execution_backend",
     "run_experiment",
     "run_sweep",
+    "run_worker",
     # component registries
     "CONGESTION_SCHEMES",
     "CongestionControl",
     "CongestionScheme",
+    "PartialAggregator",
     "TOPOLOGIES",
     "TRANSPORTS",
     "TransportKind",

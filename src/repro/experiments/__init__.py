@@ -7,6 +7,13 @@ from repro.experiments.config import (
     TransportKind,
     WorkloadKind,
 )
+from repro.experiments.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    SweepProgress,
+    register_execution_backend,
+)
+from repro.experiments.queue import QueueBackend, TaskQueue, run_worker
 from repro.experiments.results import ResultRow
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.spec import (
@@ -36,11 +43,18 @@ __all__ = [
     "ScenarioSpec",
     "register_scenario",
     "scenario",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
     "ParameterGrid",
+    "QueueBackend",
     "ResultCache",
+    "SweepProgress",
     "SweepResult",
+    "TaskQueue",
     "aggregate_rows",
+    "register_execution_backend",
     "run_experiment",
     "run_sweep",
+    "run_worker",
     "scenarios",
 ]

@@ -107,10 +107,11 @@ def _kind_name(value: Union[str, Enum]) -> str:
     return value.value if isinstance(value, Enum) else value
 
 
-#: Config fields that never influence the physics of a run and are therefore
-#: excluded from the canonical serialization (and the fingerprint): ``name``
-#: is cosmetic, and ``keep_flow_records`` only controls whether per-flow
-#: records are materialized in memory (the streaming digests that populate
+#: Config fields that never influence the physics of a run *or* the cached
+#: row contents, and are therefore excluded from the canonical serialization
+#: (and the fingerprint): ``name`` is cosmetic and ``keep_flow_records``
+#: only controls whether per-flow records are materialized in memory (the
+#: streaming digests that populate
 #: :class:`~repro.experiments.results.ResultRow` are kept either way).
 _NON_PHYSICAL_FIELDS = ("name", "keep_flow_records")
 
@@ -134,6 +135,16 @@ class ExperimentConfig:
     buffer_bytes_per_port: Optional[int] = None
     #: PFC headroom.  ``None`` derives it from the upstream link's BDP.
     pfc_headroom_bytes: Optional[int] = None
+    #: Bytes-based cap on one output-port departure batch.  Ports normally
+    #: commit up to :data:`~repro.sim.link.DEFAULT_PORT_BATCH` *packets* per
+    #: pull; with jumbo MTUs that bursts several MTUs past a PFC pause, so
+    #: this caps the committed bytes instead (a batch stops once it reaches
+    #: the cap; it always commits at least one packet).  ``None`` keeps the
+    #: packet-count-only behavior -- and is excluded from the fingerprint,
+    #: so setting it never invalidates existing caches retroactively, while
+    #: any explicit value *is* fingerprinted (it changes departure timing
+    #: and the derived PFC headroom).
+    port_batch_bytes: Optional[int] = None
 
     # --- transport ------------------------------------------------------------
     transport: Union[TransportKind, str] = TransportKind.IRN
@@ -179,6 +190,16 @@ class ExperimentConfig:
     #: accumulators and digests -- the memory-safe setting for million-flow
     #: scenarios.  Execution knob only: excluded from the fingerprint.
     keep_flow_records: bool = True
+    #: Collect §4.4 congestion-spreading observability: per-switch
+    #: queue-depth and PFC-pause-duration :class:`~repro.metrics.sketch.
+    #: QuantileDigest`s, exported on :class:`~repro.experiments.results.
+    #: ResultRow` and pooled by ``aggregate_rows``.  Pure observation (no
+    #: event, ordering or RNG impact: results are byte-identical either
+    #: way), but unlike ``keep_flow_records`` it changes what the cached
+    #: *row* carries -- so it joins the fingerprint once enabled (the
+    #: ``False`` default is excluded, keeping old caches valid), and a
+    #: digest-collecting sweep never gets served digest-less rows.
+    fabric_digests: bool = False
 
     def __post_init__(self) -> None:
         self.topology = _coerce_kind(self.topology, TopologyKind, TOPOLOGIES)
@@ -189,6 +210,10 @@ class ExperimentConfig:
         self.workload = _coerce_kind(self.workload, WorkloadKind, WORKLOADS)
         if isinstance(self.incast, dict):
             self.incast = IncastParams(**self.incast)
+        if self.port_batch_bytes is not None and self.port_batch_bytes < 1:
+            # A zero cap would silently stop every port from ever pulling a
+            # packet; fail here, at the earliest surface.
+            raise ValueError("port_batch_bytes must be >= 1 (or None to disable)")
 
     # ------------------------------------------------------------------
     # Component registry names
@@ -244,10 +269,16 @@ class ExperimentConfig:
         return max(2 * self.mtu_bytes, 2 * self.bdp_bytes())
 
     def effective_headroom_bytes(self) -> int:
-        """PFC headroom (defaults to the upstream link's in-flight bytes)."""
+        """PFC headroom (defaults to the upstream link's in-flight bytes,
+        budgeting the configured departure-batch bound)."""
         if self.pfc_headroom_bytes is not None:
             return self.pfc_headroom_bytes
-        return headroom_for_link(self.link_bandwidth_bps, self.link_delay_s, self.mtu_bytes)
+        return headroom_for_link(
+            self.link_bandwidth_bps,
+            self.link_delay_s,
+            self.mtu_bytes,
+            port_batch_bytes=self.port_batch_bytes,
+        )
 
     def switch_radix(self) -> int:
         """Number of ports per switch (bounds how many inputs feed one output)."""
@@ -327,6 +358,28 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
     # ------------------------------------------------------------------
+    # Wire format (work-queue task files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """*Every* field as JSON-safe values -- the wire format a work-queue
+        task file carries to a worker on another machine.
+
+        Unlike :meth:`to_canonical_dict` this keeps the non-physical fields
+        (``name`` binds the aggregation cell on the rebuilt side) and
+        preserves declaration order.  Enums collapse to their string values
+        and nested dataclasses to dicts; :meth:`from_dict` coerces both back,
+        so ``from_dict(to_dict())`` reconstructs an equal config with a
+        byte-identical :meth:`fingerprint`.
+        """
+        return {key: _wire_safe(value) for key, value in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (extra keys rejected,
+        so schema drift between coordinator and worker fails loudly)."""
+        return cls(**data)
+
+    # ------------------------------------------------------------------
     # Stable serialization (sweep cache keys)
     # ------------------------------------------------------------------
     def to_canonical_dict(self) -> Dict[str, Any]:
@@ -343,6 +396,15 @@ class ExperimentConfig:
         payload = asdict(self)
         for field_name in _NON_PHYSICAL_FIELDS:
             del payload[field_name]
+        # Fingerprint-relevant *once set*: the inert defaults are dropped so
+        # these fields' introduction did not invalidate every pre-existing
+        # cache entry, while any explicit value keys its own entries
+        # (``port_batch_bytes`` changes the physics; ``fabric_digests``
+        # changes what the cached row carries).
+        if payload.get("port_batch_bytes") is None:
+            del payload["port_batch_bytes"]
+        if not payload.get("fabric_digests"):
+            del payload["fabric_digests"]
         return _canonical(payload)
 
     def fingerprint(self) -> str:
@@ -353,11 +415,25 @@ class ExperimentConfig:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _canonical(value: Any) -> Any:
+def _json_normalize(value: Any, sort_keys: bool) -> Any:
+    """One JSON-normalizer for both serializations (enums -> values, nested
+    dataclass dicts/lists -> plain structures), so the canonical
+    (fingerprint) and wire (task-file) forms can never drift on value
+    handling -- they differ only in mapping-key order."""
     if isinstance(value, Enum):
         return value.value
     if isinstance(value, dict):
-        return {key: _canonical(item) for key, item in sorted(value.items())}
+        items = sorted(value.items()) if sort_keys else value.items()
+        return {key: _json_normalize(item, sort_keys) for key, item in items}
     if isinstance(value, (list, tuple)):
-        return [_canonical(item) for item in value]
+        return [_json_normalize(item, sort_keys) for item in value]
     return value
+
+
+def _canonical(value: Any) -> Any:
+    return _json_normalize(value, sort_keys=True)
+
+
+def _wire_safe(value: Any) -> Any:
+    """JSON-normalize one field value, preserving mapping order."""
+    return _json_normalize(value, sort_keys=False)

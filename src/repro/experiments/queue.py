@@ -1,0 +1,669 @@
+"""Durable on-disk work queue: sweeps that shard across worker machines.
+
+The ``queue`` execution backend turns one sweep into files under a shared
+*queue directory* (local disk, NFS, anything POSIX-rename-atomic), so any
+number of worker processes -- started on this machine by the coordinator, or
+by hand on other machines with ``python -m repro worker <queue-dir>`` --
+drain it cooperatively and the sweep survives every participant crashing.
+
+Task lifecycle (all transitions are atomic renames or atomic
+write-temp-then-rename, so concurrent workers never observe half states)::
+
+    tasks/<fp>.json  --claim-->  leases/<fp>.json  --complete-->  parts/<fp>.json
+         ^                            |                 (ResultRow part-file)
+         |                            +--fail------>  failed/<fp>.json
+         +------reclaim (stale lease: crashed worker)--+
+
+* ``tasks/`` holds pending work: one JSON file per cell, named by the
+  config's :meth:`~repro.experiments.config.ExperimentConfig.fingerprint`
+  and carrying the label plus the full config wire format
+  (:meth:`~repro.experiments.config.ExperimentConfig.to_dict`), so a worker
+  on another machine rebuilds the exact fingerprinted config.
+* A worker *claims* a task by renaming it into ``leases/`` -- exactly one
+  concurrent claimer can win the rename -- then stamps the lease with its
+  identity.  Leases older than ``lease_timeout_s`` are presumed orphaned by
+  a crashed worker and renamed back into ``tasks/``.
+* A finished cell becomes a *part-file*: the flat
+  :class:`~repro.experiments.results.ResultRow` wrapped in the same
+  ``{schema, code, row}`` envelope as sweep-cache entries, so parts are
+  code-aware exactly like the cache.  Workers also write through the shared
+  :class:`~repro.experiments.sweep.ResultCache` (``<queue-dir>/cache`` by
+  default), so a later sweep over the same configs is served without
+  re-simulating.
+* A cell that raises becomes a *failure marker* (``failed/<fp>.json``); the
+  coordinating sweep surfaces it as an error instead of waiting forever.
+
+The coordinator (:class:`QueueBackend`) streams parts as they land into the
+sweep's progress/partial-aggregation layer and resumes from whatever parts a
+previous, interrupted coordinator left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.backends import (
+    Cell,
+    ExecutionBackend,
+    OnResult,
+    register_execution_backend,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ResultRow
+from repro.experiments.sweep import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    _rebind_row,
+    _run_cell,
+    code_fingerprint,
+    import_plugins,
+)
+
+__all__ = [
+    "QueueBackend",
+    "Task",
+    "TaskQueue",
+    "run_worker",
+]
+
+#: Bumped when the task-file wire format changes incompatibly.
+TASK_SCHEMA_VERSION = 1
+
+#: Leases untouched for this long are presumed orphaned by a dead worker.
+#: Must comfortably exceed the longest single cell (cells are seconds-long;
+#: slow shared filesystems and swapped machines get a wide margin).
+DEFAULT_LEASE_TIMEOUT_S = 600.0
+
+
+def _write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    tmp.replace(path)
+
+
+@dataclass
+class Task:
+    """One leased (or pending) unit of sweep work."""
+
+    fingerprint: str
+    label: str
+    config: ExperimentConfig
+    #: Set while this process holds the lease.
+    lease_path: Optional[Path] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": TASK_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "config": self.config.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Task":
+        if payload.get("schema") != TASK_SCHEMA_VERSION:
+            raise ValueError(
+                f"task schema {payload.get('schema')!r} != {TASK_SCHEMA_VERSION} "
+                "(coordinator and worker run different repro versions)"
+            )
+        return cls(
+            fingerprint=payload["fingerprint"],
+            label=payload["label"],
+            config=ExperimentConfig.from_dict(payload["config"]),
+        )
+
+
+class TaskQueue:
+    """The on-disk queue: four spool directories plus the shared cache."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        self.directory = Path(directory)
+        self.lease_timeout_s = lease_timeout_s
+        self.tasks_dir = self.directory / "tasks"
+        self.leases_dir = self.directory / "leases"
+        self.parts_dir = self.directory / "parts"
+        self.failed_dir = self.directory / "failed"
+        for sub in (self.tasks_dir, self.leases_dir, self.parts_dir, self.failed_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def task_path(self, fingerprint: str) -> Path:
+        return self.tasks_dir / f"{fingerprint}.json"
+
+    def lease_path(self, fingerprint: str) -> Path:
+        return self.leases_dir / f"{fingerprint}.json"
+
+    def part_path(self, fingerprint: str) -> Path:
+        return self.parts_dir / f"{fingerprint}.json"
+
+    def failed_path(self, fingerprint: str) -> Path:
+        return self.failed_dir / f"{fingerprint}.json"
+
+    def default_cache(self) -> ResultCache:
+        """The cache workers share by default (``<queue-dir>/cache``)."""
+        return ResultCache(self.directory / "cache")
+
+    # ------------------------------------------------------------------
+    # Producing
+    # ------------------------------------------------------------------
+    def enqueue(self, label: str, config: ExperimentConfig) -> bool:
+        """Spool one cell as a pending task file.
+
+        Returns ``False`` (without writing) when the cell is already pending,
+        leased, or completed -- so two coordinators sharing a queue directory
+        do not duplicate work.  Any stale failure marker for the fingerprint
+        is cleared: enqueueing is an explicit fresh attempt.  A part-file
+        that no longer *reads* as completed (written by a different source
+        tree or schema version) is deleted and the cell re-spooled --
+        otherwise an invalid part would pin the task as "done" while every
+        read of it misses, and the sweep could never finish.
+        """
+        task = Task(fingerprint=config.fingerprint(), label=label, config=config)
+        self.failed_path(task.fingerprint).unlink(missing_ok=True)
+        part = self.part_path(task.fingerprint)
+        if part.exists():
+            if self.part_row(task.fingerprint) is not None:
+                return False
+            part.unlink(missing_ok=True)  # stale part: recompute
+        for existing in (
+            self.task_path(task.fingerprint),
+            self.lease_path(task.fingerprint),
+        ):
+            if existing.exists():
+                return False
+        _write_json_atomic(self.task_path(task.fingerprint), task.to_payload())
+        return True
+
+    # ------------------------------------------------------------------
+    # Consuming
+    # ------------------------------------------------------------------
+    def claim(self, worker_id: str) -> Optional[Task]:
+        """Lease the first pending task (by sorted name); ``None`` when empty.
+
+        The claim is one atomic rename into ``leases/``: when several workers
+        race for the same task exactly one rename succeeds and the others
+        simply move on to the next file.  Tasks whose *valid* part-file
+        already exists (a reclaimed lease whose original worker finished
+        after all) are retired on sight instead of re-run; a part that no
+        longer reads (different source tree) does not retire its task --
+        completing the task overwrites it.
+        """
+        for path in sorted(self.tasks_dir.glob("*.json")):
+            fingerprint = path.stem
+            if self.part_row(fingerprint) is not None:
+                path.unlink(missing_ok=True)
+                continue
+            lease = self.lease_path(fingerprint)
+            now = time.time()
+            try:
+                # Refresh the mtime *before* the rename (which preserves
+                # it): orphan reclaim judges staleness by lease mtime, and
+                # a task that sat pending longer than the lease timeout
+                # must not be born already reclaim-eligible.
+                os.utime(path, (now, now))
+                path.rename(lease)
+            except (FileNotFoundError, PermissionError):
+                continue  # another worker won the rename
+            try:
+                lease_text = lease.read_text()
+            except FileNotFoundError:
+                # Reclaimed out from under us in the instant after the
+                # rename: the task is back in the pending spool, someone
+                # will claim it.  Not a failure.
+                continue
+            try:
+                payload = json.loads(lease_text)
+                task = Task.from_payload(payload)
+            except (ValueError, KeyError, TypeError) as exc:
+                # Genuinely unreadable task: surface as a failure marker,
+                # not a hang.
+                _write_json_atomic(
+                    self.failed_path(fingerprint),
+                    {"fingerprint": fingerprint, "label": "?", "worker": worker_id,
+                     "error": f"unreadable task file: {exc!r}"},
+                )
+                lease.unlink(missing_ok=True)
+                continue
+            task.lease_path = lease
+            # Stamp the lease with the claimer (refreshing its mtime again;
+            # long-running cells get the full lease_timeout_s from here).
+            _write_json_atomic(
+                lease,
+                {**payload, "worker": worker_id, "claimed_at": now},
+            )
+            return task
+        return None
+
+    def complete(self, task: Task, row: ResultRow) -> None:
+        """Publish ``row`` as the task's durable part-file and drop the lease."""
+        _write_json_atomic(
+            self.part_path(task.fingerprint),
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "code": code_fingerprint(),
+                "row": row.to_dict(),
+            },
+        )
+        if task.lease_path is not None:
+            task.lease_path.unlink(missing_ok=True)
+            task.lease_path = None
+
+    def fail(self, task: Task, error: BaseException, worker_id: str = "?") -> None:
+        """Record a cell failure so coordinators stop waiting for it."""
+        _write_json_atomic(
+            self.failed_path(task.fingerprint),
+            {
+                "fingerprint": task.fingerprint,
+                "label": task.label,
+                "worker": worker_id,
+                "error": f"{type(error).__name__}: {error}",
+            },
+        )
+        if task.lease_path is not None:
+            task.lease_path.unlink(missing_ok=True)
+            task.lease_path = None
+
+    def release(self, task: Task) -> None:
+        """Return a leased task to the pending spool (interrupted worker)."""
+        if task.lease_path is None:
+            return
+        try:
+            task.lease_path.rename(self.task_path(task.fingerprint))
+        except FileNotFoundError:
+            pass
+        task.lease_path = None
+
+    def reclaim_orphans(self, now: Optional[float] = None) -> List[str]:
+        """Requeue every lease untouched for ``lease_timeout_s`` seconds.
+
+        A worker that died (or lost its machine) leaves its lease behind;
+        renaming it back into ``tasks/`` lets surviving workers pick the
+        cell up.  Safe to call from any participant: the rename is atomic,
+        and a completed-after-reclaim duplicate execution writes a
+        byte-identical part-file (cells are deterministic), so the race is
+        wasteful at worst, never wrong.
+        """
+        if now is None:
+            now = time.time()
+        reclaimed: List[str] = []
+        for lease in sorted(self.leases_dir.glob("*.json")):
+            try:
+                age = now - lease.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            if age < self.lease_timeout_s:
+                continue
+            fingerprint = lease.stem
+            try:
+                lease.rename(self.task_path(fingerprint))
+            except FileNotFoundError:
+                continue
+            reclaimed.append(fingerprint)
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def part_row(self, fingerprint: str, code_aware: bool = True) -> Optional[ResultRow]:
+        """The completed row for ``fingerprint``, or ``None``.
+
+        Parts are validated exactly like cache entries: a part written by a
+        different source tree (or schema version) reads as missing, so a
+        resumed sweep never mixes rows from two simulator versions.
+        """
+        try:
+            payload = json.loads(self.part_path(fingerprint).read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            if code_aware and payload.get("code") != code_fingerprint():
+                return None
+            return ResultRow.from_dict(payload["row"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def part_fingerprints(self) -> List[str]:
+        return sorted(path.stem for path in self.parts_dir.glob("*.json"))
+
+    def failures(self) -> Dict[str, str]:
+        """``fingerprint -> error text`` for every recorded failure."""
+        failures: Dict[str, str] = {}
+        for path in sorted(self.failed_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                failures[path.stem] = (
+                    f"{payload.get('label', '?')}: {payload.get('error', 'unknown error')}"
+                )
+            except (OSError, ValueError):
+                failures[path.stem] = "unreadable failure marker"
+        return failures
+
+    def counts(self) -> Dict[str, int]:
+        """Spool sizes, for observability (``repro worker`` status lines)."""
+        return {
+            "tasks": sum(1 for _ in self.tasks_dir.glob("*.json")),
+            "leases": sum(1 for _ in self.leases_dir.glob("*.json")),
+            "parts": sum(1 for _ in self.parts_dir.glob("*.json")),
+            "failed": sum(1 for _ in self.failed_dir.glob("*.json")),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _execute_task(task: Task, cache: Optional[ResultCache]) -> ResultRow:
+    """Run one task through the shared cache (hit = no simulation)."""
+    cached = cache.get(task.config) if cache is not None else None
+    if cached is not None:
+        return _rebind_row(cached, task.label, task.config.name)
+    row = _run_cell((task.label, task.config))
+    if cache is not None:
+        cache.put(row)
+    return row
+
+
+def run_worker(
+    queue: Union[TaskQueue, str, Path],
+    cache: Optional[Union[ResultCache, str, Path]] = None,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval_s: float = 0.5,
+    drain: bool = False,
+    max_tasks: Optional[int] = None,
+) -> int:
+    """Lease and execute tasks until stopped; returns cells executed.
+
+    This is what ``python -m repro worker <queue-dir>`` runs.  The loop:
+
+    1. claim the next task (atomic rename);
+    2. serve it from the shared cache, or simulate and write the cache back;
+    3. publish the durable part-file and drop the lease;
+    4. on an idle queue, reclaim orphaned leases, then either exit (with
+       ``drain=True``, once no pending tasks remain) or sleep and re-poll --
+       a long-lived worker keeps serving sweeps as coordinators spool them.
+
+    A cell that raises is recorded as a failure marker and the worker moves
+    on; ``KeyboardInterrupt`` releases the in-flight task back to the
+    pending spool before propagating, so nothing is lost to a Ctrl-C.
+    ``cache=None`` selects the queue's default ``<queue-dir>/cache``.
+    """
+    if not isinstance(queue, TaskQueue):
+        queue = TaskQueue(queue)
+    if cache is None:
+        cache = queue.default_cache()
+    elif not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+    if worker_id is None:
+        worker_id = default_worker_id()
+    import_plugins()
+
+    executed = 0
+    while max_tasks is None or executed < max_tasks:
+        task = queue.claim(worker_id)
+        if task is None:
+            if queue.reclaim_orphans():
+                continue
+            if drain:
+                break
+            time.sleep(poll_interval_s)
+            continue
+        try:
+            row = _execute_task(task, cache)
+        except KeyboardInterrupt:
+            queue.release(task)
+            raise
+        except Exception as exc:
+            queue.fail(task, exc, worker_id)
+            continue
+        queue.complete(task, row)
+        executed += 1
+    return executed
+
+
+# ---------------------------------------------------------------------------
+# Coordinator backend
+# ---------------------------------------------------------------------------
+
+@register_execution_backend("queue")
+class QueueBackend(ExecutionBackend):
+    """Execute sweep cells through a durable work-queue directory.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared queue directory (created on demand).  Every participant
+        -- this coordinator, workers it spawns, and any ``python -m repro
+        worker`` started elsewhere against the same path -- must see the
+        same filesystem.
+    workers:
+        Local worker processes to spawn for this sweep (each runs
+        ``python -m repro worker <queue-dir> --drain`` and exits when the
+        spool is empty).  ``None`` or ``0`` spawns none: the coordinator
+        itself drains tasks inline between polls, while still absorbing
+        parts contributed by external workers -- so a bare
+        ``QueueBackend(dir)`` works standalone and speeds up the moment
+        extra machines join.
+    poll_interval_s / lease_timeout_s / wait_timeout_s:
+        Part-scan cadence, orphan-lease threshold, and an optional hard
+        bound on how long to wait without any progress (``None`` = forever;
+        useful for unattended CI).
+    """
+
+    def __init__(
+        self,
+        queue_dir: Optional[Union[str, Path]] = None,
+        *,
+        workers: Optional[int] = None,
+        poll_interval_s: float = 0.2,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        wait_timeout_s: Optional[float] = None,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
+    ) -> None:
+        if queue_dir is None:
+            raise ValueError(
+                "the queue backend needs a queue directory: construct it as "
+                "QueueBackend('path/to/queue') (or pass --queue-dir on the CLI); "
+                "plain backend='queue' cannot guess where workers rendezvous"
+            )
+        self.queue = TaskQueue(queue_dir, lease_timeout_s=lease_timeout_s)
+        self.workers = int(workers) if workers else 0
+        self.poll_interval_s = poll_interval_s
+        self.wait_timeout_s = wait_timeout_s
+        if cache is None:
+            self.worker_cache = self.queue.default_cache()
+        elif isinstance(cache, ResultCache):
+            self.worker_cache = cache
+        else:
+            self.worker_cache = ResultCache(cache)
+        self._worker_id = f"coordinator-{default_worker_id()}"
+
+    # ------------------------------------------------------------------
+    def _spawn_workers(self) -> List["subprocess.Popen"]:
+        """Start local drain-mode workers as real OS processes.
+
+        They run the same CLI entry point a by-hand worker uses, so what CI
+        exercises is exactly the multi-machine recipe; logs land under
+        ``<queue-dir>/logs/``.
+        """
+        import repro
+
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                f"{package_root}{os.pathsep}{existing}" if existing else package_root
+            )
+        logs_dir = self.queue.directory / "logs"
+        logs_dir.mkdir(exist_ok=True)
+        procs: List[subprocess.Popen] = []
+        for index in range(self.workers):
+            log = open(logs_dir / f"worker-{index}.log", "a")
+            procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "worker",
+                        str(self.queue.directory),
+                        "--drain",
+                        "--cache", str(self.worker_cache.directory),
+                        "--poll", str(self.poll_interval_s),
+                        "--lease-timeout", str(self.queue.lease_timeout_s),
+                    ],
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=env,
+                )
+            )
+            log.close()
+        return procs
+
+    def _deliver(
+        self,
+        row: ResultRow,
+        cells: Sequence[Cell],
+        on_result: OnResult,
+    ) -> None:
+        # One part-file can satisfy several labels (fingerprint-identical
+        # cells under different scenario names); rebind per requester.
+        for label, config in cells:
+            on_result(_rebind_row(row, label, config.name))
+
+    def execute(self, pending: List[Cell], on_result: OnResult) -> int:
+        queue = self.queue
+        by_fp: Dict[str, List[Cell]] = {}
+        for label, config in pending:
+            by_fp.setdefault(config.fingerprint(), []).append((label, config))
+        outstanding = set(by_fp)
+
+        # Resume-from-parts: an interrupted sweep left durable rows behind;
+        # serve them before spooling anything.
+        for fingerprint in sorted(outstanding):
+            row = queue.part_row(fingerprint)
+            if row is not None:
+                self._deliver(row, by_fp[fingerprint], on_result)
+                outstanding.discard(fingerprint)
+
+        # A previous coordinator's crash may also have left stale leases.
+        queue.reclaim_orphans()
+        for fingerprint in sorted(outstanding):
+            label, config = by_fp[fingerprint][0]
+            queue.enqueue(label, config)
+
+        procs = self._spawn_workers() if (self.workers and outstanding) else []
+        deadline = (
+            time.monotonic() + self.wait_timeout_s
+            if self.wait_timeout_s is not None
+            else None
+        )
+        try:
+            while outstanding:
+                progressed = False
+                for fingerprint in sorted(outstanding):
+                    row = queue.part_row(fingerprint)
+                    if row is not None:
+                        self._deliver(row, by_fp[fingerprint], on_result)
+                        outstanding.discard(fingerprint)
+                        progressed = True
+                if not outstanding:
+                    break
+
+                failures = queue.failures()
+                broken = sorted(outstanding & set(failures))
+                if broken:
+                    details = "; ".join(failures[fp] for fp in broken)
+                    raise RuntimeError(
+                        f"{len(broken)} queue task(s) failed: {details} "
+                        f"(markers under {queue.failed_dir})"
+                    )
+
+                if not procs:
+                    # No local workers: participate instead of just waiting.
+                    task = queue.claim(self._worker_id)
+                    if task is not None:
+                        try:
+                            row = _execute_task(task, self.worker_cache)
+                        except KeyboardInterrupt:
+                            queue.release(task)
+                            raise
+                        except Exception as exc:
+                            queue.fail(task, exc, self._worker_id)
+                            raise
+                        queue.complete(task, row)
+                        progressed = True
+                elif all(proc.poll() is not None for proc in procs):
+                    # Every spawned worker exited while cells are missing.
+                    # A worker's final part may have landed *after* this
+                    # iteration's scan but before the poll() check, so
+                    # rescan before concluding they died -- otherwise a
+                    # sweep could fail spuriously at its very last cell.
+                    for fingerprint in sorted(outstanding):
+                        row = queue.part_row(fingerprint)
+                        if row is not None:
+                            self._deliver(row, by_fp[fingerprint], on_result)
+                            outstanding.discard(fingerprint)
+                            progressed = True
+                    if progressed or not outstanding:
+                        continue
+                    counts = queue.counts()
+                    if counts["leases"]:
+                        # A live lease means some worker -- an external
+                        # `repro worker` on another machine, most likely --
+                        # is still mid-cell: keep waiting.  If its holder is
+                        # actually dead, orphan reclaim requeues it after
+                        # lease_timeout_s and the no-lease branch below
+                        # fires on a later iteration.
+                        pass
+                    else:
+                        codes = [proc.returncode for proc in procs]
+                        raise RuntimeError(
+                            f"all {len(procs)} queue workers exited (codes {codes}) "
+                            f"with {len(outstanding)} cell(s) unfinished; spool: "
+                            f"{counts}; logs under {queue.directory / 'logs'}"
+                        )
+
+                if progressed:
+                    if deadline is not None:
+                        deadline = time.monotonic() + self.wait_timeout_s
+                    continue
+                queue.reclaim_orphans()
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"queue sweep made no progress for {self.wait_timeout_s}s; "
+                        f"{len(outstanding)} cell(s) outstanding, spool: {queue.counts()}"
+                    )
+                time.sleep(self.poll_interval_s)
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    # Drain-mode workers exit on their own once the spool is
+                    # empty; an abnormal coordinator exit must not leave
+                    # them running forever.
+                    try:
+                        proc.wait(timeout=2 * self.poll_interval_s + 5.0)
+                    except subprocess.TimeoutExpired:
+                        proc.terminate()
+                        try:
+                            proc.wait(timeout=5.0)
+                        except subprocess.TimeoutExpired:
+                            proc.kill()
+        return max(1, len(procs))

@@ -88,6 +88,12 @@ class ResultRow:
     slowdown_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
     #: Digest over single-packet message FCTs only (Figure 8's metric).
     single_packet_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    #: §4.4 fabric observability (``ExperimentConfig.fabric_digests``):
+    #: per-switch input-port occupancy sampled at every enqueue, and the
+    #: duration of every PFC pause episode across switch and host ports.
+    #: ``None`` when the run did not collect them.
+    queue_depth_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    pfc_pause_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
 
     # ------------------------------------------------------------------
     # ExperimentResult-compatible views
@@ -149,6 +155,24 @@ class ResultRow:
             else None
         )
 
+    @cached_property
+    def queue_depth_distribution(self) -> Optional[QuantileDigest]:
+        """Pooled per-switch queue-depth digest (``None`` unless collected)."""
+        return (
+            QuantileDigest.from_dict(self.queue_depth_digest)
+            if self.queue_depth_digest
+            else None
+        )
+
+    @cached_property
+    def pfc_pause_distribution(self) -> Optional[QuantileDigest]:
+        """PFC pause-episode duration digest (``None`` unless collected)."""
+        return (
+            QuantileDigest.from_dict(self.pfc_pause_digest)
+            if self.pfc_pause_digest
+            else None
+        )
+
     @property
     def single_packet_count(self) -> int:
         """Completed single-packet messages (0 when the digest is absent)."""
@@ -183,6 +207,8 @@ class ResultRow:
         config = result.config
         background = result.background_summary
         stats = result.collector.stream()
+        fabric_depth = result.collector.fabric_queue_depth_digest()
+        fabric_pause = result.collector.fabric_pfc_pause_digest()
         return cls(
             label=label if label is not None else config.name,
             name=config.name,
@@ -215,6 +241,12 @@ class ResultRow:
             slowdown_digest=stats.slowdown_digest.to_dict() if stats.slowdown_digest else None,
             single_packet_digest=(
                 stats.single_packet_digest.to_dict() if stats.single_packet_digest else None
+            ),
+            queue_depth_digest=(
+                fabric_depth.to_dict() if fabric_depth is not None else None
+            ),
+            pfc_pause_digest=(
+                fabric_pause.to_dict() if fabric_pause is not None else None
             ),
         )
 

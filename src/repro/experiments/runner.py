@@ -230,12 +230,18 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one simulation described by ``config`` and collect its metrics."""
     sim = _make_simulator(config)
     network = _build_network(sim, config)
+    if config.port_batch_bytes is not None:
+        # Bytes-based departure-batch cap, fabric-wide (host NICs source
+        # the bursts PFC has to absorb, so they are capped too).
+        network.set_port_batch_bytes(config.port_batch_bytes)
     collector = MetricsCollector(
         network,
         mtu_bytes=config.mtu_bytes,
         header_bytes=config.effective_header_bytes(),
         keep_records=config.keep_flow_records,
     )
+    if config.fabric_digests:
+        collector.install_fabric_probes()
     launcher = _FlowLauncher(sim, network, config, collector)
     flows = _generate_flows(config, network)
 

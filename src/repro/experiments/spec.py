@@ -352,21 +352,40 @@ class ScenarioSpec:
         seeds: Optional[Union[int, Sequence[int]]] = None,
         workers: Optional[int] = None,
         cache: Optional[Any] = None,
+        backend: Optional[Any] = None,
+        progress: Optional[Any] = None,
         **overrides: Any,
     ) -> "SweepResult":
         """Run every cell (x seed replicas) through
         :func:`~repro.experiments.sweep.run_sweep` and return its
         :class:`~repro.experiments.sweep.SweepResult`.
 
+        ``backend`` selects how uncached cells execute (a registered
+        execution-backend name or instance -- e.g. a
+        :class:`~repro.experiments.queue.QueueBackend` that shards cells
+        across worker machines); ``progress`` observes every completed row
+        with streaming partial aggregates.  Both default to the historical
+        local behavior driven by ``workers``.  The partial aggregates are
+        grouped by this spec's ``aggregate_by`` policy.
+
         Registrations are process-local: if this spec references components
         registered in the current script (not an importable module), pass
         ``workers=1`` -- parallel worker processes re-import a clean
         registry and, on spawn-based platforms (macOS/Windows), would fail
-        each cell with an unknown-name error.
+        each cell with an unknown-name error.  (``REPRO_PLUGINS`` lifts
+        this for importable modules, including queue-backend workers on
+        other machines.)
         """
         from repro.experiments.sweep import run_sweep
 
-        return run_sweep(self.replicated(seeds=seeds, **overrides), workers=workers, cache=cache)
+        return run_sweep(
+            self.replicated(seeds=seeds, **overrides),
+            workers=workers,
+            cache=cache,
+            backend=backend,
+            progress=progress,
+            progress_by=self.aggregate_by,
+        )
 
     def aggregate(self, result: Any) -> Any:
         """Fold a :class:`SweepResult` (or iterable of rows) per the spec's

@@ -6,9 +6,13 @@ turns that embarrassingly parallel work into one call:
 
 1. :class:`ParameterGrid` expands a base :class:`ExperimentConfig` and a
    mapping of ``field -> values`` into labelled configs (the *cells*);
-2. :func:`run_sweep` fans the cells out over worker processes (a
-   deterministic serial path runs the same code in-process when
-   ``workers <= 1`` or process pools are unavailable);
+2. :func:`run_sweep` hands the cells to a pluggable execution backend
+   (:mod:`repro.experiments.backends`): ``workers <= 1`` selects the
+   deterministic in-process ``serial`` backend, ``workers=N`` the local
+   ``process`` pool (with a serial fallback when pools are unavailable),
+   and ``backend=`` anything registered -- including the durable ``queue``
+   backend (:mod:`repro.experiments.queue`) whose tasks any number of
+   worker machines drain;
 3. completed cells are flattened to picklable :class:`ResultRow` records and,
    when a :class:`ResultCache` is given, stored on disk keyed by
    ``ExperimentConfig.fingerprint()`` so repeated invocations only run the
@@ -45,14 +49,13 @@ import importlib
 import itertools
 import json
 import os
-import warnings
 from collections import Counter
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from enum import Enum
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -65,17 +68,17 @@ from typing import (
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
-from repro.metrics.sketch import merge_digest_dicts
-from repro.metrics.stats import ci95_half_width, mean, percentile, stderr
+from repro.metrics.partial import PartialAggregator
 
 #: Bumped whenever the ``ResultRow`` schema or run semantics change in a way
 #: that invalidates previously cached rows.  (2: rows carry quantile-digest
 #: payloads for FCT / slowdown / single-packet latency.)
 CACHE_SCHEMA_VERSION = 2
 
-#: Upper bound on auto-selected worker processes (per-cell runs are seconds
-#: long, so more workers than this mostly adds fork/teardown overhead).
-_MAX_AUTO_WORKERS = 8
+#: Kept as an alias for the backend module's constant (historical home).
+from repro.experiments.backends import (  # noqa: E402, F401
+    MAX_AUTO_WORKERS as _MAX_AUTO_WORKERS,
+)
 
 
 def _format_axis_value(value: Any) -> str:
@@ -305,6 +308,8 @@ class SweepResult:
     cache_misses: int
     #: Worker processes used (1 == the serial fallback).
     workers_used: int
+    #: Name of the execution backend that ran the uncached cells.
+    backend: str = field(default="serial")
 
     @property
     def runs_executed(self) -> int:
@@ -344,10 +349,18 @@ def _normalize_cells(
     return cells
 
 
-def _pick_workers(workers: Optional[int], num_pending: int) -> int:
-    if workers is None:
-        workers = min(os.cpu_count() or 1, _MAX_AUTO_WORKERS)
-    return max(1, min(workers, num_pending))
+def _rebind_row(row: ResultRow, label: str, name: str) -> ResultRow:
+    """Serve a stored row under the *requesting* cell's identity fields.
+
+    ``label`` and ``name`` are deliberately excluded from the config
+    fingerprint, so a row computed (and cached, or written as a queue part)
+    by one sweep may be served to a fingerprint-identical cell of another
+    scenario that uses different ones.  ``name`` groups aggregation cells:
+    serving a foreign stale name would split or merge aggregates.
+    """
+    if row.label == label and row.name == name:
+        return row
+    return ResultRow.from_dict({**row.to_dict(), "label": label, "name": name})
 
 
 def run_sweep(
@@ -355,8 +368,11 @@ def run_sweep(
     *,
     workers: Optional[int] = None,
     cache: Optional[Union[ResultCache, str, Path]] = None,
+    backend: Optional[Union[str, "ExecutionBackend"]] = None,
+    progress: Optional[Callable[["SweepProgress", ResultRow], None]] = None,
+    progress_by: Sequence[str] = ("name",),
 ) -> SweepResult:
-    """Run every cell of a sweep, in parallel, reusing cached rows.
+    """Run every cell of a sweep through an execution backend, reusing cached rows.
 
     Parameters
     ----------
@@ -365,16 +381,29 @@ def run_sweep(
         ``scenarios`` presets produce), or a plain iterable of configs
         (labelled by their ``name``).
     workers:
-        Worker process count.  ``None`` picks the CPU count (bounded by
-        ``_MAX_AUTO_WORKERS``) capped at the number of uncached cells;
-        ``<= 1`` selects the deterministic serial path.  Parallel and serial
-        execution produce bit-identical rows (each cell is an independent,
-        seeded simulation).
+        Worker process count for the built-in backends.  ``None`` picks the
+        CPU count (bounded by ``MAX_AUTO_WORKERS``) capped at the number of
+        uncached cells; ``<= 1`` selects the deterministic serial path.
+        Parallel and serial execution produce bit-identical rows (each cell
+        is an independent, seeded simulation).
     cache:
         A :class:`ResultCache` (or a directory path for one).  Cells whose
         config fingerprint is present are served from disk without running;
         freshly computed rows are written back.  ``None`` disables caching.
+    backend:
+        How uncached cells execute: an :class:`ExecutionBackend` instance, a
+        registered backend name (``"serial"``, ``"process"``, ``"queue"``),
+        or ``None`` for the historical mapping of ``workers`` onto
+        serial/process.  See :mod:`repro.experiments.backends`.
+    progress:
+        Optional observer called as ``progress(state, row)`` after every row
+        the backend completes, with ``state`` a :class:`SweepProgress`
+        carrying all completed rows and streaming partial aggregates
+        (grouped by ``progress_by``).  This is how ``--follow`` watches
+        pooled tails converge while a queue sweep is still running.
     """
+    from repro.experiments.backends import SweepProgress, resolve_backend
+
     cells = _normalize_cells(configs)
     label_counts = Counter(label for label, _ in cells)
     duplicates = [label for label, count in label_counts.items() if count > 1]
@@ -385,25 +414,23 @@ def run_sweep(
         cache = ResultCache(cache)
 
     rows: Dict[str, Optional[ResultRow]] = {label: None for label, _ in cells}
+    # The streaming tracker does real per-row aggregation work (digest
+    # merges, partial records); only pay for it when someone is watching.
+    tracker = SweepProgress(total=len(cells), by=progress_by) if progress is not None else None
     pending: List[Tuple[str, ExperimentConfig]] = []
     cache_hits = 0
     for label, config in cells:
         cached = cache.get(config) if cache is not None else None
         if cached is not None:
-            # Rebind the identity fields the fingerprint deliberately ignores:
-            # the cache stores the row under the label *and* config name of
-            # whichever sweep first computed it, and a fingerprint-identical
-            # cell in another scenario may use different ones.  `name` groups
-            # aggregation cells, so serving a foreign stale name would split
-            # or merge aggregates.
-            rows[label] = ResultRow.from_dict(
-                {**cached.to_dict(), "label": label, "name": config.name}
-            )
+            row = _rebind_row(cached, label, config.name)
+            rows[label] = row
+            if tracker is not None:
+                tracker.add(row)
             cache_hits += 1
         else:
             pending.append((label, config))
 
-    workers_used = _pick_workers(workers, len(pending))
+    backend_obj = resolve_backend(backend, workers)
 
     def _store(row: ResultRow) -> None:
         # Called as each cell completes, so one failing (or interrupted) cell
@@ -412,51 +439,18 @@ def run_sweep(
         rows[row.label] = row
         if cache is not None:
             cache.put(row)
+        if tracker is not None:
+            tracker.add(row)
+            progress(tracker, row)
 
-    def _fall_back_to_serial(exc: BaseException) -> None:
-        # Fork/spawn denied (sandboxes) or workers died.  Any real per-cell
-        # error will resurface from the serial run.
-        nonlocal workers_used
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); falling back to serial sweep",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        workers_used = 1
-
-    if pending and workers_used > 1:
-        # The try blocks cover only pool machinery: _store runs outside them
-        # so a cache-write failure propagates as itself instead of being
-        # misread as a broken pool.
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers_used)
-        except OSError as exc:
-            _fall_back_to_serial(exc)
-        else:
-            with pool:
-                # pool.map yields in submission order; consume lazily so
-                # every completed cell is stored (and cached) even if a
-                # later one fails.
-                completed = pool.map(_run_cell, pending, chunksize=1)
-                while True:
-                    try:
-                        row = next(completed)
-                    except StopIteration:
-                        break
-                    except (OSError, BrokenExecutor) as exc:
-                        _fall_back_to_serial(exc)
-                        break
-                    _store(row)
-    if pending and workers_used <= 1:
-        for item in pending:
-            if rows[item[0]] is None:
-                _store(_run_cell(item))
+    workers_used = backend_obj.execute(pending, _store) if pending else 1
 
     return SweepResult(
         rows={label: row for label, row in rows.items() if row is not None},
         cache_hits=cache_hits,
         cache_misses=len(pending),
         workers_used=workers_used,
+        backend=backend_obj.name,
     )
 
 
@@ -464,10 +458,12 @@ def run_sweep(
 # Aggregation
 # ---------------------------------------------------------------------------
 
-#: Metrics averaged (and tail-summarized) across seed replicas per cell.
-_MEAN_P99_METRICS = ("avg_slowdown", "avg_fct_s", "tail_fct_s")
-#: Counters summed across seed replicas per cell.
-_SUMMED_COUNTERS = ("packets_dropped", "pause_frames", "retransmissions", "timeouts")
+#: Kept as aliases: the aggregation math lives in :mod:`repro.metrics.partial`
+#: so the streaming (work-queue) path and this batch path can never drift.
+from repro.metrics.partial import (  # noqa: E402, F401
+    MEAN_P99_METRICS as _MEAN_P99_METRICS,
+    SUMMED_COUNTERS as _SUMMED_COUNTERS,
+)
 
 
 def aggregate_rows(
@@ -490,44 +486,16 @@ def aggregate_rows(
     over every flow of every replica (not a mean of per-replica tails, which
     understates the tail), ``num_flows_total``, and, when single-packet
     messages completed, ``single_packet_p90_s`` / ``_p99_s`` / ``_p999_s``
-    with ``single_packet_flows``.
+    with ``single_packet_flows``.  Runs collected with
+    ``fabric_digests=True`` additionally pool §4.4 congestion-spreading
+    distributions: ``queue_depth_p50/p99/p999_bytes`` (per-switch input-port
+    occupancy at enqueue) and ``pfc_pause_p50/p99/p999_s`` with
+    ``pfc_pause_events`` / ``pfc_pause_total_s`` (PFC pause episode
+    durations).
+
+    This is the batch entry point of :class:`repro.metrics.partial.
+    PartialAggregator` -- the same reduction the work-queue backend applies
+    incrementally as part-files land -- so a streamed aggregate and a
+    post-hoc one over the same rows are identical.
     """
-    by = tuple(by)
-    invalid = [name for name in by if name not in ResultRow.__dataclass_fields__]
-    if invalid:
-        raise ValueError(f"unknown ResultRow field(s) in 'by': {sorted(invalid)}")
-
-    groups: Dict[Tuple[Any, ...], List[ResultRow]] = {}
-    for row in rows:
-        key = tuple(getattr(row, name) for name in by)
-        groups.setdefault(key, []).append(row)
-
-    table: List[Dict[str, Any]] = []
-    for key, members in groups.items():
-        record: Dict[str, Any] = dict(zip(by, key))
-        record["replicas"] = len(members)
-        record["seeds"] = sorted(row.seed for row in members)
-        for metric in _MEAN_P99_METRICS:
-            values = [getattr(row, metric) for row in members]
-            record[f"{metric}_mean"] = mean(values)
-            record[f"{metric}_p99"] = percentile(values, 0.99)
-            record[f"{metric}_stderr"] = stderr(values)
-            record[f"{metric}_ci95"] = ci95_half_width(values)
-        record["drop_rate_mean"] = mean([row.drop_rate for row in members])
-        for counter in _SUMMED_COUNTERS:
-            record[f"{counter}_total"] = sum(getattr(row, counter) for row in members)
-        record["num_flows_total"] = sum(row.num_flows for row in members)
-
-        fct = merge_digest_dicts(row.fct_digest for row in members)
-        if fct is not None and fct.count:
-            record["fct_p50_s"] = fct.percentile(0.50)
-            record["fct_p99_s"] = fct.percentile(0.99)
-            record["fct_p999_s"] = fct.percentile(0.999)
-        single_packet = merge_digest_dicts(row.single_packet_digest for row in members)
-        if single_packet is not None and single_packet.count:
-            record["single_packet_flows"] = single_packet.count
-            record["single_packet_p90_s"] = single_packet.percentile(0.90)
-            record["single_packet_p99_s"] = single_packet.percentile(0.99)
-            record["single_packet_p999_s"] = single_packet.percentile(0.999)
-        table.append(record)
-    return table
+    return PartialAggregator(by).add_all(rows).snapshot()

@@ -123,6 +123,11 @@ class MetricsCollector:
         #: covers one workload group (``Flow.group``).
         self.streams: Dict[Optional[str], GroupStats] = {None: GroupStats()}
         self._ideal_cache: Dict[int, float] = {}
+        #: Per-switch queue-depth digests, in switch order; ``None`` until
+        #: :meth:`install_fabric_probes` attaches them.
+        self._switch_depth_digests: Optional[List[QuantileDigest]] = None
+        #: Per-output-port PFC pause-duration digests (switches and hosts).
+        self._port_pause_digests: Optional[List[QuantileDigest]] = None
 
     # ------------------------------------------------------------------
     def ideal_fct(self, flow: Flow) -> float:
@@ -156,6 +161,53 @@ class MetricsCollector:
         if group_stats is None:
             group_stats = self.streams[flow.group] = GroupStats()
         group_stats.observe(record.fct, record.slowdown, single_packet)
+
+    # ------------------------------------------------------------------
+    # Fabric observability (§4.4 congestion spreading)
+    # ------------------------------------------------------------------
+    def install_fabric_probes(self) -> None:
+        """Attach queue-depth / pause-duration digests across the fabric.
+
+        One :class:`QuantileDigest` per switch samples the enqueueing input
+        port's occupancy on every accepted packet; one per output port
+        (switch ports and host NIC uplinks -- PFC pauses innocent hosts
+        too, which is exactly the congestion spreading §4.4 studies)
+        records the duration of every pause episode.  Call once, after the
+        network is built and before the simulation runs.  Pure observation:
+        it adds no events and consumes no randomness, so enabling it leaves
+        results byte-identical.
+        """
+        self._switch_depth_digests = []
+        self._port_pause_digests = []
+        for switch in self.network.switches.values():
+            digest = QuantileDigest()
+            switch.queue_depth_digest = digest
+            self._switch_depth_digests.append(digest)
+        for port in self.network.output_ports():
+            digest = QuantileDigest()
+            port.pause_digest = digest
+            self._port_pause_digests.append(digest)
+
+    @staticmethod
+    def _merge_probe_digests(
+        digests: Optional[List[QuantileDigest]],
+    ) -> Optional[QuantileDigest]:
+        if digests is None:
+            return None
+        merged = QuantileDigest()
+        for digest in digests:
+            merged.merge(digest)
+        return merged
+
+    def fabric_queue_depth_digest(self) -> Optional[QuantileDigest]:
+        """Queue-depth samples pooled over every switch (``None`` when
+        probes were never installed; per-switch digests stay readable on
+        each :class:`~repro.sim.switch.Switch`)."""
+        return self._merge_probe_digests(self._switch_depth_digests)
+
+    def fabric_pfc_pause_digest(self) -> Optional[QuantileDigest]:
+        """PFC pause durations pooled over every output port."""
+        return self._merge_probe_digests(self._port_pause_digests)
 
     # ------------------------------------------------------------------
     # Streaming views

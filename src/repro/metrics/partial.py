@@ -1,0 +1,187 @@
+"""Streaming (partial-result) aggregation over :class:`ResultRow` records.
+
+The sweep layer's :func:`~repro.experiments.sweep.aggregate_rows` folds seed
+replicas into per-cell records *after* every cell has finished.  A work-queue
+sweep cannot wait: rows land one part-file at a time, possibly from several
+worker machines, and the caller wants to watch the pooled tails converge
+while the sweep is still running.
+
+:class:`PartialAggregator` is the incremental engine both paths share.  Rows
+are absorbed one at a time; per cell it keeps the replica scalars, the summed
+fabric counters and one *merged* :class:`~repro.metrics.sketch.QuantileDigest`
+per distribution (FCT, slowdown tails are already inside the FCT digest,
+single-packet latency, and -- when runs collect them -- queue depth and PFC
+pause durations).  Because digest merges are commutative and associative,
+``snapshot()`` after N rows reports the *true pooled* percentiles over every
+flow of every row absorbed so far -- not a mean of per-row tails -- and the
+final snapshot is exactly what ``aggregate_rows`` computes over the complete
+row set.  ``aggregate_rows`` is in fact implemented as "absorb everything,
+then snapshot", so the two can never drift.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.sketch import QuantileDigest
+from repro.metrics.stats import ci95_half_width, mean, percentile, stderr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.results import ResultRow
+
+__all__ = ["PartialAggregator", "aggregate_partial"]
+
+#: Metrics averaged (and tail-summarized) across seed replicas per cell.
+MEAN_P99_METRICS = ("avg_slowdown", "avg_fct_s", "tail_fct_s")
+
+#: Counters summed across seed replicas per cell.
+SUMMED_COUNTERS = ("packets_dropped", "pause_frames", "retransmissions", "timeouts")
+
+#: Digest-backed pooled-distribution columns, one entry per ``ResultRow``
+#: digest field: ``(row_field, column_prefix, unit_suffix, percentile labels,
+#: count_column, sum_column)``.  ``count_column``/``sum_column`` are emitted
+#: only when non-``None`` (the merged digest's sample count / running sum).
+DIGEST_COLUMNS: Tuple[Tuple[str, str, str, Tuple[Tuple[float, str], ...],
+                            Optional[str], Optional[str]], ...] = (
+    ("fct_digest", "fct", "s",
+     ((0.50, "p50"), (0.99, "p99"), (0.999, "p999")), None, None),
+    ("single_packet_digest", "single_packet", "s",
+     ((0.90, "p90"), (0.99, "p99"), (0.999, "p999")), "single_packet_flows", None),
+    # §4.4 congestion-spreading observability (collected when
+    # ``ExperimentConfig.fabric_digests`` is set): per-switch input-port
+    # occupancy sampled at every enqueue, and the duration of every PFC
+    # pause episode any output port served.
+    ("queue_depth_digest", "queue_depth", "bytes",
+     ((0.50, "p50"), (0.99, "p99"), (0.999, "p999")), None, None),
+    ("pfc_pause_digest", "pfc_pause", "s",
+     ((0.50, "p50"), (0.99, "p99"), (0.999, "p999")),
+     "pfc_pause_events", "pfc_pause_total_s"),
+)
+
+
+class _CellState:
+    """Running aggregate of every row absorbed for one parameter cell."""
+
+    __slots__ = ("key", "replicas", "seeds", "metric_values", "drop_rates",
+                 "counters", "num_flows_total", "digests")
+
+    def __init__(self, key: Tuple[Any, ...]) -> None:
+        self.key = key
+        self.replicas = 0
+        self.seeds: List[int] = []
+        #: metric -> replica values, in absorption order (the same order the
+        #: batch aggregator would have summed them in).
+        self.metric_values: Dict[str, List[float]] = {m: [] for m in MEAN_P99_METRICS}
+        self.drop_rates: List[float] = []
+        self.counters: Dict[str, int] = {c: 0 for c in SUMMED_COUNTERS}
+        self.num_flows_total = 0
+        #: row digest field -> merged digest over every absorbed row.
+        self.digests: Dict[str, Optional[QuantileDigest]] = {
+            spec[0]: None for spec in DIGEST_COLUMNS
+        }
+
+    def absorb(self, row: "ResultRow") -> None:
+        self.replicas += 1
+        self.seeds.append(row.seed)
+        for metric in MEAN_P99_METRICS:
+            self.metric_values[metric].append(getattr(row, metric))
+        self.drop_rates.append(row.drop_rate)
+        for counter in SUMMED_COUNTERS:
+            self.counters[counter] += getattr(row, counter)
+        self.num_flows_total += row.num_flows
+        for field, *_ in DIGEST_COLUMNS:
+            payload = getattr(row, field, None)
+            if payload is None:
+                continue
+            digest = QuantileDigest.from_dict(payload)
+            merged = self.digests[field]
+            self.digests[field] = digest if merged is None else merged.merge(digest)
+
+    def record(self, by: Sequence[str]) -> Dict[str, Any]:
+        record: Dict[str, Any] = dict(zip(by, self.key))
+        record["replicas"] = self.replicas
+        record["seeds"] = sorted(self.seeds)
+        for metric in MEAN_P99_METRICS:
+            values = self.metric_values[metric]
+            record[f"{metric}_mean"] = mean(values)
+            record[f"{metric}_p99"] = percentile(values, 0.99)
+            record[f"{metric}_stderr"] = stderr(values)
+            record[f"{metric}_ci95"] = ci95_half_width(values)
+        record["drop_rate_mean"] = mean(self.drop_rates)
+        for counter in SUMMED_COUNTERS:
+            record[f"{counter}_total"] = self.counters[counter]
+        record["num_flows_total"] = self.num_flows_total
+        for field, prefix, unit, fractions, count_col, sum_col in DIGEST_COLUMNS:
+            digest = self.digests[field]
+            if digest is None or not digest.count:
+                continue
+            if count_col is not None:
+                record[count_col] = digest.count
+            for fraction, label in fractions:
+                record[f"{prefix}_{label}_{unit}"] = digest.percentile(fraction)
+            if sum_col is not None:
+                record[sum_col] = digest.sum
+        return record
+
+
+class PartialAggregator:
+    """Incrementally folds rows into per-cell aggregate records.
+
+    Rows sharing the ``by`` fields form one cell.  :meth:`add` is O(1) per
+    row (amortized); :meth:`snapshot` renders the current per-cell records in
+    first-seen cell order -- the exact shape (and, over the full row set, the
+    exact values) of :func:`~repro.experiments.sweep.aggregate_rows`.
+    """
+
+    def __init__(self, by: Sequence[str] = ("transport", "congestion_control", "pfc_enabled")) -> None:
+        # Validated lazily against ResultRow to keep this module importable
+        # without the experiments package.
+        from repro.experiments.results import ResultRow
+
+        self.by = tuple(by)
+        invalid = [name for name in self.by if name not in ResultRow.__dataclass_fields__]
+        if invalid:
+            raise ValueError(f"unknown ResultRow field(s) in 'by': {sorted(invalid)}")
+        self._cells: Dict[Tuple[Any, ...], _CellState] = {}
+        self._rows_absorbed = 0
+
+    @property
+    def rows_absorbed(self) -> int:
+        return self._rows_absorbed
+
+    def __len__(self) -> int:
+        """Number of distinct cells seen so far."""
+        return len(self._cells)
+
+    def add(self, row: "ResultRow") -> Dict[str, Any]:
+        """Absorb one row; returns the *updated* cell's current record."""
+        key = tuple(getattr(row, name) for name in self.by)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self._cells[key] = _CellState(key)
+        cell.absorb(row)
+        self._rows_absorbed += 1
+        return cell.record(self.by)
+
+    def add_all(self, rows: Iterable["ResultRow"]) -> "PartialAggregator":
+        for row in rows:
+            self.add(row)
+        return self
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every cell's current aggregate record, in first-seen order."""
+        return [cell.record(self.by) for cell in self._cells.values()]
+
+
+def aggregate_partial(
+    rows: Iterable["ResultRow"],
+    by: Sequence[str] = ("transport", "congestion_control", "pfc_enabled"),
+) -> List[Dict[str, Any]]:
+    """Aggregate whatever rows exist *so far* (the partial-merge entry point).
+
+    Identical to :func:`~repro.experiments.sweep.aggregate_rows` -- which is
+    a re-export of this reduction over a complete row set -- but named for
+    its streaming use: hand it the subset of rows that have landed and it
+    reports true pooled digests over exactly that subset.
+    """
+    return PartialAggregator(by).add_all(rows).snapshot()

@@ -119,6 +119,14 @@ class OutputPort:
     schedules a wake-up pull only when one is actually needed -- when the
     batch limit cut the pull short, or when a kick arrives while the wire is
     busy.  An idle-source busy period therefore costs zero wake-up events.
+
+    ``max_batch_bytes`` optionally caps the *bytes* one pull commits: the
+    batch stops once the committed bytes reach the cap (it always commits at
+    least one packet, so a jumbo frame larger than the cap still moves).
+    The worst-case burst past a PFC pause is therefore ``max_batch_bytes``
+    plus one straddling packet, instead of ``max_batch_packets`` full MTUs
+    -- the knob jumbo-MTU configs set via
+    :attr:`~repro.experiments.config.ExperimentConfig.port_batch_bytes`.
     """
 
     def __init__(
@@ -127,13 +135,17 @@ class OutputPort:
         link: Link,
         source: PacketSource,
         max_batch_packets: int = DEFAULT_PORT_BATCH,
+        max_batch_bytes: Optional[int] = None,
     ) -> None:
         if max_batch_packets < 1:
             raise ValueError("max_batch_packets must be >= 1")
+        if max_batch_bytes is not None and max_batch_bytes < 1:
+            raise ValueError("max_batch_bytes must be >= 1")
         self.sim = sim
         self.link = link
         self.source = source
         self.max_batch_packets = max_batch_packets
+        self.max_batch_bytes = max_batch_bytes
         self.paused = False
 
         self._free_at = 0.0
@@ -146,6 +158,10 @@ class OutputPort:
         self._paused_since: Optional[float] = None
         #: Pulls that committed at least one packet (batches).
         self.batches_sent = 0
+        #: Optional observability probe (duck-typed ``.add(duration)``):
+        #: when attached (``ExperimentConfig.fabric_digests``), every PFC
+        #: pause episode's duration is recorded at resume time.
+        self.pause_digest = None
 
     @property
     def busy(self) -> bool:
@@ -168,7 +184,10 @@ class OutputPort:
             self.paused = False
             self.resume_count += 1
             if self._paused_since is not None:
-                self.paused_time += self.sim.now - self._paused_since
+                duration = self.sim.now - self._paused_since
+                self.paused_time += duration
+                if self.pause_digest is not None:
+                    self.pause_digest.add(duration)
                 self._paused_since = None
             self.kick()
 
@@ -212,8 +231,15 @@ class OutputPort:
         bandwidth = link.bandwidth_bps
         free_at = now
         count = 0
+        committed_bytes = 0
         limit = self.max_batch_packets
-        while count < limit:
+        byte_cap = self.max_batch_bytes
+        limited = False
+        while True:
+            if count >= limit or (byte_cap is not None and committed_bytes >= byte_cap):
+                # A limit (not an empty source) is ending this pull.
+                limited = True
+                break
             packet = next_packet(self)
             if packet is None:
                 break
@@ -232,10 +258,11 @@ class OutputPort:
             # transmit-done event.
             sim.schedule_at(free_at + prop, receive, packet, link)
             count += 1
+            committed_bytes += packet.size_bytes
         if count:
             self.batches_sent += 1
             self._free_at = free_at
-            if count >= limit:
+            if limited:
                 # The batch limit (not an empty source) ended the pull, so
                 # nothing will kick us: arrange the next pull ourselves.
                 if self._pull_event is None:

@@ -104,6 +104,11 @@ class Switch:
         self.packets_marked = 0
         self.pause_frames_sent = 0
         self.resume_frames_sent = 0
+        #: Optional observability probe (duck-typed ``.add(bytes)``): when
+        #: attached (``ExperimentConfig.fabric_digests``), the enqueueing
+        #: input port's buffer occupancy is sampled after every accepted
+        #: packet -- the §4.4 congestion-spreading queue-depth distribution.
+        self.queue_depth_digest = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -161,6 +166,9 @@ class Switch:
         in_port.voq(out_port).append(packet)
         in_port.occupancy += packet.size_bytes
         self._out_queue_bytes[out_port] += packet.size_bytes
+
+        if self.queue_depth_digest is not None:
+            self.queue_depth_digest.add(in_port.occupancy)
 
         if self.config.pfc.enabled:
             if in_port.pfc.should_pause(in_port.occupancy, in_port.pause_threshold):

@@ -1,0 +1,577 @@
+"""Execution-backend semantics: registry, streaming progress, and the
+durable work queue (lease atomicity, crash reclaim, resume-from-parts,
+serial-vs-queue equality)."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.experiments.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    register_execution_backend,
+    resolve_backend,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.queue import QueueBackend, TaskQueue, run_worker
+from repro.experiments.sweep import ResultCache, aggregate_rows, run_sweep
+from repro.metrics.partial import PartialAggregator, aggregate_partial
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    """A star-topology config that simulates in a few milliseconds."""
+    base = ExperimentConfig(
+        name="tiny",
+        topology="star",
+        num_hosts=4,
+        workload="fixed",
+        fixed_size_bytes=20_000,
+        num_flows=6,
+        max_sim_time_s=1.0,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def tiny_cells(n=4):
+    """n cells over two aggregation names (seed replicas of cell0/cell1)."""
+    return {
+        f"s{seed}": tiny_config(seed=seed, name=f"cell{seed % 2}")
+        for seed in range(1, n + 1)
+    }
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        resolve_backend(None)  # force queue-module registration
+        names = EXECUTION_BACKENDS.names()
+        for expected in ("serial", "process", "queue"):
+            assert expected in names
+
+    def test_none_maps_workers_onto_serial_or_process(self):
+        assert isinstance(resolve_backend(None, workers=1), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=0), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=4), ProcessBackend)
+        assert isinstance(resolve_backend(None, workers=None), ProcessBackend)
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_queue_by_name_needs_a_directory(self):
+        with pytest.raises(ValueError, match="queue directory"):
+            resolve_backend("queue", workers=2)
+
+    def test_queue_rejects_missing_dir_at_construction(self):
+        with pytest.raises(ValueError, match="queue directory"):
+            QueueBackend()
+
+    def test_custom_backend_runs_by_name(self):
+        @register_execution_backend("recording")
+        class RecordingBackend(ExecutionBackend):
+            seen = []
+
+            def __init__(self, workers=None):
+                self.workers = workers
+
+            def execute(self, pending, on_result):
+                from repro.experiments.sweep import _run_cell
+
+                for item in pending:
+                    RecordingBackend.seen.append(item[0])
+                    on_result(_run_cell(item))
+                return 7
+
+        try:
+            sweep = run_sweep({"only": tiny_config()}, backend="recording")
+            assert sweep.backend == "recording"
+            assert sweep.workers_used == 7
+            assert RecordingBackend.seen == ["only"]
+            assert sweep["only"].num_flows == 6
+        finally:
+            EXECUTION_BACKENDS._entries.pop("recording", None)
+
+    def test_decorator_sets_backend_name(self):
+        assert SerialBackend.name == "serial"
+        assert ProcessBackend.name == "process"
+        assert QueueBackend.name == "queue"
+
+    def test_sweep_result_records_backend(self):
+        assert run_sweep({"a": tiny_config()}, workers=1).backend == "serial"
+
+
+class TestSweepProgress:
+    def test_streams_rows_and_partial_aggregates(self):
+        events = []
+
+        def observe(progress, row):
+            events.append(
+                (progress.completed, progress.total, row.label, progress.aggregate())
+            )
+
+        configs = tiny_cells(4)
+        sweep = run_sweep(configs, workers=1, progress=observe)
+        assert [event[0] for event in events] == [1, 2, 3, 4]
+        assert all(event[1] == 4 for event in events)
+        assert [event[2] for event in events] == list(configs)
+        # Mid-sweep partial aggregates exist (and cover fewer replicas than
+        # the final table), before the sweep finishes.
+        mid = events[1][3]
+        assert sum(record["replicas"] for record in mid) == 2
+        final = events[-1][3]
+        assert final == aggregate_rows(sweep.rows.values(), by=("name",))
+
+    def test_cache_hits_count_toward_progress(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        configs = tiny_cells(2)
+        run_sweep(configs, workers=1, cache=cache)
+        events = []
+        again = run_sweep(
+            configs, workers=1, cache=cache,
+            progress=lambda p, r: events.append(p.completed),
+        )
+        # Everything served from cache: the observer never fires, but the
+        # sweep still completes with all rows.
+        assert events == []
+        assert again.cache_hits == 2 and len(again) == 2
+
+
+class TestPartialAggregator:
+    def test_every_prefix_matches_batch_aggregation(self):
+        rows = list(run_sweep(tiny_cells(4), workers=1).rows.values())
+        partial = PartialAggregator(by=("name",))
+        for i, row in enumerate(rows, start=1):
+            partial.add(row)
+            assert partial.snapshot() == aggregate_rows(rows[:i], by=("name",))
+        assert partial.rows_absorbed == 4
+        assert len(partial) == 2
+
+    def test_aggregate_partial_equals_aggregate_rows(self):
+        rows = list(run_sweep(tiny_cells(3), workers=1).rows.values())
+        assert aggregate_partial(rows, by=("name",)) == aggregate_rows(rows, by=("name",))
+
+    def test_incremental_add_reports_updated_cell(self):
+        rows = list(run_sweep(tiny_cells(2), workers=1).rows.values())
+        partial = PartialAggregator(by=("name",))
+        record = partial.add(rows[0])
+        assert record["name"] == rows[0].name
+        assert record["replicas"] == 1
+        assert record["fct_p99_s"] == rows[0].fct_percentile(0.99)
+
+    def test_unknown_by_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ResultRow field"):
+            PartialAggregator(by=("nope",))
+
+
+class TestTaskQueue:
+    def test_lifecycle_task_to_lease_to_part(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        assert queue.enqueue("cell", config) is True
+        assert queue.counts() == {"tasks": 1, "leases": 0, "parts": 0, "failed": 0}
+
+        task = queue.claim("w1")
+        assert task is not None
+        assert task.label == "cell"
+        assert task.config == config
+        assert task.config.fingerprint() == config.fingerprint()
+        assert queue.counts()["leases"] == 1 and queue.counts()["tasks"] == 0
+
+        from repro.experiments.sweep import _run_cell
+
+        row = _run_cell((task.label, task.config))
+        queue.complete(task, row)
+        assert queue.counts() == {"tasks": 0, "leases": 0, "parts": 1, "failed": 0}
+        assert queue.part_row(config.fingerprint()) == row
+
+    def test_enqueue_is_idempotent_across_states(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        assert queue.enqueue("cell", config) is True
+        assert queue.enqueue("cell", config) is False  # already pending
+        task = queue.claim("w1")
+        assert queue.enqueue("cell", config) is False  # leased
+        queue.complete(task, run_sweep({"cell": config}, workers=1)["cell"])
+        assert queue.enqueue("cell", config) is False  # completed
+
+    def test_task_file_is_the_config_wire_format(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config(seed=3)
+        queue.enqueue("cell", config)
+        payload = json.loads(queue.task_path(config.fingerprint()).read_text())
+        assert payload["label"] == "cell"
+        assert payload["fingerprint"] == config.fingerprint()
+        rebuilt = ExperimentConfig.from_dict(payload["config"])
+        assert rebuilt == config
+        assert rebuilt.fingerprint() == config.fingerprint()
+
+    def test_concurrent_claims_never_duplicate(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        for seed in range(1, 9):
+            queue.enqueue(f"s{seed}", tiny_config(seed=seed))
+
+        claims = {}
+        lock = threading.Lock()
+
+        def drain(worker_id):
+            mine = []
+            while True:
+                task = queue.claim(worker_id)
+                if task is None:
+                    break
+                mine.append(task.fingerprint)
+            with lock:
+                claims[worker_id] = mine
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        all_claims = [fp for mine in claims.values() for fp in mine]
+        # The atomic rename guarantees exactly-once claiming: no task is
+        # claimed twice and none is lost.
+        assert len(all_claims) == 8
+        assert len(set(all_claims)) == 8
+        assert queue.counts()["tasks"] == 0 and queue.counts()["leases"] == 8
+
+    def test_crash_orphan_reclaim(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q", lease_timeout_s=60.0)
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        task = queue.claim("crashed-worker")
+        assert task is not None
+        # A fresh lease is not reclaimable...
+        assert queue.reclaim_orphans() == []
+        assert queue.claim("w2") is None
+        # ...but once it exceeds the timeout (backdate the lease mtime, as a
+        # worker dead for a minute would look), any participant requeues it.
+        stale = time.time() - 120.0
+        os.utime(queue.lease_path(config.fingerprint()), (stale, stale))
+        assert queue.reclaim_orphans() == [config.fingerprint()]
+        retry = queue.claim("w2")
+        assert retry is not None and retry.label == "cell"
+
+    def test_late_completion_after_reclaim_is_idempotent(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q", lease_timeout_s=60.0)
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        slow = queue.claim("slow-worker")
+        stale = time.time() - 120.0
+        os.utime(queue.lease_path(config.fingerprint()), (stale, stale))
+        queue.reclaim_orphans()
+        # The presumed-dead worker finishes after all: its part lands fine.
+        row = run_sweep({"cell": config}, workers=1)["cell"]
+        queue.complete(slow, row)
+        # The requeued duplicate task is retired on sight instead of re-run.
+        assert queue.claim("w2") is None
+        assert queue.counts()["tasks"] == 0
+        assert queue.part_row(config.fingerprint()) == row
+
+    def test_claiming_a_long_pending_task_yields_a_fresh_lease(self, tmp_path):
+        # A task can sit in the pending spool longer than the lease timeout
+        # (deep backlog, few workers).  Claiming it must refresh the mtime
+        # the reclaim judges by -- a rename alone preserves the enqueue-time
+        # mtime and would make the new lease instantly reclaim-eligible,
+        # letting a polling coordinator snatch work out from under a live
+        # worker.
+        queue = TaskQueue(tmp_path / "q", lease_timeout_s=60.0)
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        stale = time.time() - 3600.0
+        os.utime(queue.task_path(config.fingerprint()), (stale, stale))
+        task = queue.claim("w1")
+        assert task is not None
+        assert queue.reclaim_orphans() == []
+        age = time.time() - queue.lease_path(config.fingerprint()).stat().st_mtime
+        assert age < 5.0
+
+    def test_release_returns_task_to_spool(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue("cell", tiny_config())
+        task = queue.claim("w1")
+        queue.release(task)
+        assert queue.counts()["tasks"] == 1 and queue.counts()["leases"] == 0
+        assert queue.claim("w2") is not None
+
+    def test_parts_are_code_aware(self, tmp_path, monkeypatch):
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        task = queue.claim("w1")
+        queue.complete(task, run_sweep({"cell": config}, workers=1)["cell"])
+        assert queue.part_row(config.fingerprint()) is not None
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        # A part written by a different simulator version reads as missing...
+        assert queue.part_row(config.fingerprint()) is None
+        # ...unless explicitly opted out (archived queue directories).
+        assert queue.part_row(config.fingerprint(), code_aware=False) is not None
+
+    def test_stale_part_does_not_pin_the_task_as_done(self, tmp_path, monkeypatch):
+        # A part written by a *different source tree* must not leave the cell
+        # in limbo (unreadable part + "already completed" task): enqueueing
+        # deletes the stale part and respools, and claiming does not retire
+        # the task against it.
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        queue.complete(queue.claim("w1"), run_sweep({"cell": config}, workers=1)["cell"])
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        assert queue.enqueue("cell", config) is True  # stale part cleared
+        task = queue.claim("w2")
+        assert task is not None  # not retired against the stale part
+        row = run_sweep({"cell": config}, workers=1)["cell"]
+        queue.complete(task, row)
+        assert queue.part_row(config.fingerprint()) == row
+
+    def test_sweep_resumes_past_stale_parts(self, tmp_path, monkeypatch):
+        # End to end: interrupt a queue sweep, "edit the simulator" (new code
+        # fingerprint), and the resumed sweep recomputes the stale cells
+        # instead of hanging on never-readable parts.
+        configs = tiny_cells(2)
+        queue = TaskQueue(tmp_path / "q")
+        for label, config in configs.items():
+            queue.enqueue(label, config)
+        run_worker(queue, drain=True, max_tasks=1)
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        resumed = run_sweep(
+            configs, backend=QueueBackend(tmp_path / "q", wait_timeout_s=60)
+        )
+        assert len(resumed) == 2
+        assert resumed.rows == run_sweep(configs, workers=1).rows
+
+
+class TestRunWorker:
+    def test_drains_queue_and_writes_parts_and_cache(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        configs = tiny_cells(3)
+        for label, config in configs.items():
+            queue.enqueue(label, config)
+        executed = run_worker(queue, drain=True)
+        assert executed == 3
+        assert queue.counts() == {"tasks": 0, "leases": 0, "parts": 3, "failed": 0}
+        # The shared cache was written through: a plain cached sweep over the
+        # same configs simulates nothing.
+        again = run_sweep(configs, workers=1, cache=queue.default_cache())
+        assert again.cache_hits == 3 and again.runs_executed == 0
+
+    def test_max_tasks_interrupts_mid_queue(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        for label, config in tiny_cells(4).items():
+            queue.enqueue(label, config)
+        assert run_worker(queue, drain=True, max_tasks=2) == 2
+        counts = queue.counts()
+        assert counts["parts"] == 2 and counts["tasks"] == 2
+
+    def test_failing_cell_becomes_marker_not_crash(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        bad = tiny_config(workload="none", num_flows=0)  # generates no flows
+        queue.enqueue("bad", bad)
+        queue.enqueue("good", tiny_config())
+        executed = run_worker(queue, drain=True, worker_id="w1")
+        assert executed == 1  # the good cell
+        counts = queue.counts()
+        assert counts["failed"] == 1 and counts["parts"] == 1
+        failures = queue.failures()
+        assert list(failures) == [bad.fingerprint()]
+        assert "bad" in failures[bad.fingerprint()]
+
+    def test_accepts_plain_directory_path(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue("cell", tiny_config())
+        assert run_worker(tmp_path / "q", drain=True) == 1
+
+
+class TestQueueBackend:
+    def test_inline_queue_matches_serial_exactly(self, tmp_path):
+        configs = tiny_cells(4)
+        serial = run_sweep(configs, workers=1)
+        queued = run_sweep(
+            configs,
+            backend=QueueBackend(tmp_path / "q", wait_timeout_s=60),
+        )
+        assert queued.backend == "queue"
+        # Bit-identical rows, labels, and pooled aggregates.
+        assert queued.rows == serial.rows
+        assert queued.labels() == serial.labels()
+        assert aggregate_rows(queued.rows.values(), by=("name",)) == aggregate_rows(
+            serial.rows.values(), by=("name",)
+        )
+
+    def test_interrupted_sweep_resumes_from_parts(self, tmp_path):
+        configs = tiny_cells(4)
+        serial = run_sweep(configs, workers=1)
+
+        # Spool everything, then "kill" the sweep after two cells: a drain
+        # worker executes two tasks and stops, leaving two durable parts.
+        queue = TaskQueue(tmp_path / "q")
+        for label, config in configs.items():
+            queue.enqueue(label, config)
+        run_worker(queue, drain=True, max_tasks=2)
+        assert queue.counts()["parts"] == 2
+
+        executed = []
+        resumed = run_sweep(
+            configs,
+            backend=QueueBackend(tmp_path / "q", wait_timeout_s=60),
+            progress=lambda p, r: executed.append(r.label),
+        )
+        # Every cell reported (the two pre-existing parts are re-served
+        # through the same progress stream), rows identical to serial...
+        assert sorted(executed) == sorted(configs)
+        assert resumed.rows == serial.rows
+        # ...and only the two missing cells were actually simulated.
+        assert queue.counts()["parts"] == 4
+        assert aggregate_rows(resumed.rows.values(), by=("name",)) == aggregate_rows(
+            serial.rows.values(), by=("name",)
+        )
+
+    def test_streams_partial_aggregates_before_completion(self, tmp_path):
+        snapshots = []
+        run_sweep(
+            tiny_cells(4),
+            backend=QueueBackend(tmp_path / "q", wait_timeout_s=60),
+            progress=lambda p, r: snapshots.append((p.completed, p.aggregate())),
+        )
+        assert [completed for completed, _ in snapshots] == [1, 2, 3, 4]
+        # Partial aggregates exist strictly before the sweep finished.
+        mid_completed, mid_agg = snapshots[1]
+        assert mid_completed == 2
+        assert sum(record["replicas"] for record in mid_agg) == 2
+
+    def test_fingerprint_identical_cells_share_one_part(self, tmp_path):
+        # Two labels whose configs differ only in name (not fingerprint):
+        # one task runs, both rows are delivered with rebound identities.
+        configs = {
+            "a": tiny_config(name="scenario-a|cell"),
+            "b": tiny_config(name="scenario-b|cell"),
+        }
+        assert configs["a"].fingerprint() == configs["b"].fingerprint()
+        queue = TaskQueue(tmp_path / "q")
+        sweep = run_sweep(configs, backend=QueueBackend(tmp_path / "q", wait_timeout_s=60))
+        assert queue.counts()["parts"] == 1
+        assert sweep["a"].name == "scenario-a|cell"
+        assert sweep["b"].name == "scenario-b|cell"
+        assert sweep["a"].label == "a" and sweep["b"].label == "b"
+
+    def test_failure_marker_from_external_worker_raises(self, tmp_path, monkeypatch):
+        # Model a *remote* worker failing the cell mid-sweep: the claim
+        # "succeeds elsewhere" and only a failure marker appears, so the
+        # coordinator must error out instead of waiting forever.
+        configs = {"cell": tiny_config()}
+        backend = QueueBackend(tmp_path / "q", wait_timeout_s=60)
+        original_claim = TaskQueue.claim
+
+        def claim_then_fail(self, worker_id):
+            task = original_claim(self, worker_id)
+            if task is not None:
+                self.fail(task, RuntimeError("boom"), worker_id="other-machine")
+                return None
+            return task
+
+        monkeypatch.setattr(TaskQueue, "claim", claim_then_fail)
+        with pytest.raises(RuntimeError, match="queue task"):
+            run_sweep(configs, backend=backend)
+
+    def test_inline_cell_error_propagates(self, tmp_path):
+        bad = {"bad": tiny_config(workload="none", num_flows=0)}
+        with pytest.raises(ValueError, match="no flows"):
+            run_sweep(bad, backend=QueueBackend(tmp_path / "q", wait_timeout_s=60))
+
+    def test_uses_shared_cache_before_simulating(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        configs = tiny_cells(2)
+        # Warm the queue's default cache directly.
+        warm = run_sweep(configs, workers=1, cache=ResultCache(queue_dir / "cache"))
+        backend = QueueBackend(queue_dir, wait_timeout_s=60)
+
+        def boom(config):
+            raise AssertionError(f"run_experiment called for {config.name}")
+
+        import repro.experiments.runner as runner_mod
+
+        original = runner_mod.run_experiment
+        runner_mod.run_experiment = boom
+        try:
+            served = run_sweep(configs, backend=backend)
+        finally:
+            runner_mod.run_experiment = original
+        assert served.rows == warm.rows
+
+
+class TestQueueBackendSubprocessWorkers:
+    """End-to-end: real `python -m repro worker` processes drain the queue."""
+
+    def test_two_workers_drain_one_queue(self, tmp_path):
+        configs = tiny_cells(4)
+        serial = run_sweep(configs, workers=1)
+        events = []
+        queued = run_sweep(
+            configs,
+            backend=QueueBackend(
+                tmp_path / "q", workers=2, poll_interval_s=0.05, wait_timeout_s=300,
+            ),
+            progress=lambda p, r: events.append(p.completed),
+        )
+        assert queued.workers_used == 2
+        assert queued.rows == serial.rows
+        assert events == [1, 2, 3, 4]
+        assert aggregate_rows(queued.rows.values(), by=("name",)) == aggregate_rows(
+            serial.rows.values(), by=("name",)
+        )
+        # The workers logged their drains.
+        logs = sorted((tmp_path / "q" / "logs").glob("worker-*.log"))
+        assert len(logs) == 2
+
+
+class TestWorkerCli:
+    def test_worker_subcommand_drains(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        queue = TaskQueue(tmp_path / "q")
+        for label, config in tiny_cells(2).items():
+            queue.enqueue(label, config)
+        rc = main(["worker", str(tmp_path / "q"), "--drain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) executed" in out
+        assert queue.counts()["parts"] == 2
+
+    def test_run_with_queue_backend_and_follow(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "run", "fig1", "--quick", "--flows", "12", "--no-cache",
+            "--backend", "queue", "--queue-dir", str(tmp_path / "q"),
+            "--follow",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "queue backend" in out
+        assert "[1/2]" in out and "[2/2]" in out  # streamed partials
+        assert "replicas=1" in out
+
+    def test_quick_conflicts_with_seeds(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["run", "fig1", "--quick", "--seeds", "3"])
+
+    def test_queue_dir_requires_queue_backend(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="--queue-dir"):
+            main(["run", "fig1", "--queue-dir", "/tmp/nope"])

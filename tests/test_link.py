@@ -203,3 +203,85 @@ class TestOutputPort:
         sim.schedule(5e-6, port.resume)
         sim.run_until_idle()
         assert port.paused_time == pytest.approx(5e-6)
+
+
+class TestOutputPortByteCap:
+    """port_batch_bytes: bytes-based bound on one departure batch."""
+
+    def make_capped_link(self, sim, max_batch_bytes, bandwidth=8e9, delay=0.0):
+        src = SinkNode("src")
+        dst = SinkNode("dst")
+        link = Link(sim, src, dst, bandwidth, delay)
+        source = QueueSource()
+        port = OutputPort(sim, link, source, max_batch_bytes=max_batch_bytes)
+        return link, port, source, dst
+
+    def test_batch_stops_at_byte_cap(self):
+        sim = Simulator()
+        # Cap of 2000 B: the batch commits packets until committed bytes
+        # reach the cap -- two 1000 B packets -- then arranges its own pull.
+        link, port, source, dst = self.make_capped_link(sim, max_batch_bytes=2000)
+        source.queue.extend(data_packet(1000) for _ in range(4))
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 4
+        # Two byte-capped batches instead of one 4-packet batch.
+        assert port.batches_sent == 2
+
+    def test_always_commits_at_least_one_packet(self):
+        sim = Simulator()
+        # A jumbo frame larger than the cap still moves (cap checked before
+        # each pull, never against the packet about to be pulled).
+        link, port, source, dst = self.make_capped_link(sim, max_batch_bytes=2000)
+        source.queue.append(data_packet(9000))
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 1
+
+    def test_burst_bounded_by_cap_plus_one_packet(self):
+        sim = Simulator()
+        link, port, source, dst = self.make_capped_link(sim, max_batch_bytes=2500)
+        source.queue.extend(data_packet(1000) for _ in range(8))
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 8
+        # Each batch committed 3 packets (2000 B < cap, pull one more) --
+        # never the 4-packet default.
+        assert port.batches_sent == 3
+
+    def test_unset_cap_keeps_packet_count_batching(self):
+        sim = Simulator()
+        link, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+        assert port.max_batch_bytes is None
+        source.queue.extend(data_packet(1000) for _ in range(8))
+        port.kick()
+        sim.run_until_idle()
+        assert len(dst.received) == 8
+        assert port.batches_sent == 2  # two DEFAULT_PORT_BATCH pulls
+
+    def test_invalid_cap_rejected(self):
+        sim = Simulator()
+        src, dst = SinkNode("a"), SinkNode("b")
+        link = Link(sim, src, dst, 8e9, 1e-6)
+        with pytest.raises(ValueError, match="max_batch_bytes"):
+            OutputPort(sim, link, QueueSource(), max_batch_bytes=0)
+
+    def test_pause_digest_records_episode_durations(self):
+        sim = Simulator()
+        link, port, source, dst = make_link(sim, bandwidth=8e9, delay=0.0)
+
+        class ListDigest:
+            def __init__(self):
+                self.samples = []
+
+            def add(self, value):
+                self.samples.append(value)
+
+        port.pause_digest = ListDigest()
+        port.pause()
+        # Advance simulated time by scheduling a no-op event.
+        sim.schedule(5e-6, lambda: None)
+        sim.run_until_idle()
+        port.resume()
+        assert port.pause_digest.samples == [pytest.approx(5e-6)]
+        assert port.paused_time == pytest.approx(5e-6)

@@ -218,3 +218,130 @@ class TestStreamingCollector:
         assert stats.avg_slowdown == float("inf")
         assert stats.slowdown_digest.count == 1  # only the finite sample
         assert stats.fct_digest.count == 2
+
+
+class TestFabricDigests:
+    """§4.4 observability: queue-depth and PFC-pause-duration digests."""
+
+    def run_probed(self, **overrides):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        config = ExperimentConfig(
+            name="probed",
+            topology="star",
+            num_hosts=4,
+            workload="fixed",
+            fixed_size_bytes=40_000,
+            num_flows=12,
+            max_sim_time_s=1.0,
+            fabric_digests=True,
+            **overrides,
+        )
+        return run_experiment(config)
+
+    def test_fingerprint_relevant_once_enabled(self):
+        # Disabled (the default) is excluded from the canonical dict, so the
+        # field's introduction invalidated no caches; enabled keys its own
+        # entries, so a digest-collecting sweep is never served digest-less
+        # cached rows.
+        from repro.experiments.config import ExperimentConfig
+
+        on = ExperimentConfig(fabric_digests=True)
+        off = ExperimentConfig(fabric_digests=False)
+        assert on.fingerprint() != off.fingerprint()
+        assert "fabric_digests" not in off.to_canonical_dict()
+        assert on.to_canonical_dict()["fabric_digests"] is True
+
+    def test_cached_rows_always_match_the_digest_request(self, tmp_path):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.sweep import ResultCache, run_sweep
+
+        base = dict(
+            topology="star", num_hosts=4, workload="fixed",
+            fixed_size_bytes=40_000, num_flows=12, max_sim_time_s=1.0,
+        )
+        cache = ResultCache(tmp_path / "cache")
+        run_sweep({"cell": ExperimentConfig(name="a", **base)}, workers=1, cache=cache)
+        # Requesting digests after a digest-less sweep re-simulates instead
+        # of serving a row without the requested fabric distributions.
+        probed = run_sweep(
+            {"cell": ExperimentConfig(name="a", fabric_digests=True, **base)},
+            workers=1, cache=cache,
+        )
+        assert probed.cache_hits == 0 and probed.runs_executed == 1
+        assert probed["cell"].queue_depth_digest is not None
+
+    def test_observation_does_not_perturb_the_run(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        base = dict(
+            topology="star", num_hosts=4, workload="fixed",
+            fixed_size_bytes=40_000, num_flows=12, max_sim_time_s=1.0,
+        )
+        plain = run_experiment(ExperimentConfig(name="a", **base)).to_row()
+        probed = self.run_probed().to_row()
+        for field in ("avg_fct_s", "avg_slowdown", "events_processed",
+                      "pause_frames", "packets_forwarded", "sim_time_s"):
+            assert getattr(plain, field) == getattr(probed, field)
+        assert plain.queue_depth_digest is None
+        assert plain.pfc_pause_digest is None
+
+    def test_row_carries_pooled_fabric_digests(self):
+        result = self.run_probed()
+        row = result.to_row()
+        depth = row.queue_depth_distribution
+        assert depth is not None and depth.count > 0
+        # Every sample is a post-enqueue occupancy: positive, and bounded by
+        # the per-port buffer.
+        assert depth.min > 0
+        assert depth.max <= result.config.effective_buffer_bytes()
+        # PFC fired in this congested star (pause_frames > 0), and every
+        # pause episode that *resumed* was recorded with its duration.
+        pause = row.pfc_pause_distribution
+        assert row.pause_frames > 0
+        assert pause is not None and pause.count > 0
+        assert pause.count <= row.pause_frames
+        assert pause.sum > 0.0
+
+    def test_per_switch_digests_stay_readable(self):
+        result = self.run_probed()
+        switches = list(result.collector.network.switches.values())
+        assert all(s.queue_depth_digest is not None for s in switches)
+        pooled = result.collector.fabric_queue_depth_digest()
+        assert pooled.count == sum(s.queue_depth_digest.count for s in switches)
+
+    def test_aggregate_rows_pools_fabric_digests(self):
+        from repro.experiments.sweep import aggregate_rows
+
+        rows = [self.run_probed(seed=seed).to_row() for seed in (1, 2)]
+        (record,) = aggregate_rows(rows, by=("transport",))
+        assert record["pfc_pause_events"] == sum(
+            row.pfc_pause_distribution.count for row in rows
+        )
+        assert record["pfc_pause_total_s"] == pytest.approx(
+            sum(row.pfc_pause_distribution.sum for row in rows)
+        )
+        assert (record["queue_depth_p50_bytes"]
+                <= record["queue_depth_p99_bytes"]
+                <= record["queue_depth_p999_bytes"])
+        # Rows without fabric digests omit the columns entirely.
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_experiment
+
+        bare = run_experiment(ExperimentConfig(
+            name="bare", topology="star", num_hosts=4, workload="fixed",
+            fixed_size_bytes=40_000, num_flows=12, max_sim_time_s=1.0,
+        )).to_row()
+        (bare_record,) = aggregate_rows([bare], by=("transport",))
+        assert "queue_depth_p99_bytes" not in bare_record
+        assert "pfc_pause_events" not in bare_record
+
+    def test_digests_survive_the_row_dict_roundtrip(self):
+        from repro.experiments.results import ResultRow
+
+        row = self.run_probed().to_row()
+        clone = ResultRow.from_dict(row.to_dict())
+        assert clone.queue_depth_digest == row.queue_depth_digest
+        assert clone.pfc_pause_digest == row.pfc_pause_digest

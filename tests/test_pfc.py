@@ -55,3 +55,27 @@ class TestPfcState:
         state = PfcState()
         assert not state.should_pause(49, threshold=50)
         assert state.should_pause(50, threshold=50)
+
+
+class TestHeadroomWithByteCap:
+    def test_unset_cap_is_byte_identical_to_historical_budget(self):
+        from repro.sim.link import DEFAULT_PORT_BATCH
+
+        for bandwidth, delay, mtu in ((40e9, 2e-6, 1000), (10e9, 1e-6, 9000)):
+            in_flight = 2.0 * bandwidth * delay / 8.0
+            expected = int(in_flight + (2 * DEFAULT_PORT_BATCH + 1) * mtu + 64)
+            assert headroom_for_link(bandwidth, delay, mtu) == expected
+            assert headroom_for_link(bandwidth, delay, mtu, port_batch_bytes=None) == expected
+
+    def test_byte_cap_shrinks_the_batch_budget(self):
+        # Jumbo MTU: the 4-packet batch budget is 36 KB of burst; a 9 KB
+        # byte cap bounds one batch at cap + one straddling MTU instead.
+        uncapped = headroom_for_link(40e9, 2e-6, mtu_bytes=9000)
+        capped = headroom_for_link(40e9, 2e-6, mtu_bytes=9000, port_batch_bytes=9000)
+        assert capped < uncapped
+        assert uncapped - capped == 2 * (4 * 9000 - (9000 + 9000))
+
+    def test_loose_cap_changes_nothing(self):
+        # A cap wider than the packet-count batch cannot grow the budget.
+        assert headroom_for_link(40e9, 2e-6, 1000, port_batch_bytes=1_000_000) == \
+            headroom_for_link(40e9, 2e-6, 1000)
