@@ -126,6 +126,11 @@ class ExperimentConfig:
     topology: Union[TopologyKind, str] = TopologyKind.FAT_TREE
     fat_tree_k: int = 4
     num_hosts: int = 8            # used by star/dumbbell topologies
+    #: Switches on the ``ring`` topology's cycle (the circular-dependency
+    #: fabric behind the ``pfc_deadlock`` scenario).  Like
+    #: ``port_batch_bytes``, the default is dropped from the canonical
+    #: serialization so its introduction left existing cache entries valid.
+    ring_switches: int = 3
     link_bandwidth_bps: float = 10e9
     link_delay_s: float = 1e-6
 
@@ -405,6 +410,8 @@ class ExperimentConfig:
             del payload["port_batch_bytes"]
         if not payload.get("fabric_digests"):
             del payload["fabric_digests"]
+        if payload.get("ring_switches") == 3:
+            del payload["ring_switches"]
         return _canonical(payload)
 
     def fingerprint(self) -> str:

@@ -70,6 +70,13 @@ class ResultRow:
     retransmissions: int
     timeouts: int
 
+    # --- PFC deadlock detection (§2's circular buffer dependency) -----------
+    #: Wait-for-graph cycles observed by the online detector (0 on rows
+    #: predating the detector, and always 0 when PFC is disabled).
+    deadlock_events: int = 0
+    #: Simulation time of the first deadlock event (``None`` if none fired).
+    time_to_deadlock_s: Optional[float] = None
+
     # --- optional incast / cross-traffic metrics (§4.4.3) ------------------
     incast_rct_s: Optional[float] = None
     background_avg_slowdown: Optional[float] = None
@@ -232,6 +239,8 @@ class ResultRow:
             data_packets_sent=result.data_packets_sent,
             retransmissions=result.retransmissions,
             timeouts=result.timeouts,
+            deadlock_events=result.deadlock_events,
+            time_to_deadlock_s=result.time_to_deadlock_s,
             incast_rct_s=result.incast_rct_s,
             background_avg_slowdown=background.avg_slowdown if background else None,
             background_avg_fct_s=background.avg_fct if background else None,

@@ -54,6 +54,10 @@ class ExperimentResult:
     data_packets_sent: int
     retransmissions: int
     timeouts: int
+    #: PFC wait-for-graph deadlock events (see ``repro.sim.deadlock``).
+    deadlock_events: int = 0
+    #: Simulation time of the first deadlock event, if any.
+    time_to_deadlock_s: Optional[float] = None
     #: Request completion time of the incast request (if one was configured).
     incast_rct_s: Optional[float] = None
     #: Summary restricted to the background traffic (when incast + cross
@@ -242,6 +246,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
     if config.fabric_digests:
         collector.install_fabric_probes()
+    # The deadlock detector is pure observation (no events, no randomness),
+    # so it is always on -- the paper's §2 CBD pathology should never be
+    # able to hide behind a disabled knob.
+    collector.install_deadlock_detector()
     launcher = _FlowLauncher(sim, network, config, collector)
     flows = _generate_flows(config, network)
 
@@ -276,6 +284,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         data_packets_sent=sum(sender.packets_sent for sender in launcher.senders),
         retransmissions=sum(sender.retransmissions for sender in launcher.senders),
         timeouts=sum(sender.timeouts_fired for sender in launcher.senders),
+        deadlock_events=collector.deadlock_events,
+        time_to_deadlock_s=collector.time_to_deadlock_s,
         incast_rct_s=incast_rct,
         background_summary=background_summary,
     )

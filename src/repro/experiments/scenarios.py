@@ -434,6 +434,38 @@ _paper_scenario(
 
 
 # ---------------------------------------------------------------------------
+# §2 PFC pathologies: circular buffer-dependency deadlock
+# ---------------------------------------------------------------------------
+# A ring of switches with the ``circular`` workload: every receiver is fed
+# at full rate from two different upstream switches, so once the per-sender
+# load crosses 0.5 the inter-switch input buffers fill, every switch pauses
+# both upstream switches and the PFC wait-for graph closes into a cycle --
+# the online detector (repro.sim.deadlock) reports it as ``deadlock_events``
+# / ``min_time_to_deadlock_s``.  IRN runs the identical fabric lossless-off:
+# it drops and retransmits instead of pausing, so its deadlock count is an
+# exact zero -- the paper's §2 motivation as a reproducible figure.
+_paper_scenario(
+    "pfc_deadlock",
+    "§2 CBD deadlock: circular ring fabric, RoCE+PFC wedges, IRN does not",
+    {
+        "RoCE (with PFC)": _scheme("roce", pfc=True),
+        "IRN (without PFC)": _scheme("irn", pfc=False),
+    },
+    rows=_load_rows((0.3, 0.6, 0.9)),
+    defaults=dict(
+        topology="ring",
+        ring_switches=3,
+        workload="circular",
+        num_hosts=9,
+        num_flows=60,
+        fixed_size_bytes=100_000,
+        target_load=0.9,
+    ),
+    seeds=(1, 2, 3),
+)
+
+
+# ---------------------------------------------------------------------------
 # Legacy builder functions
 # ---------------------------------------------------------------------------
 # Thin wrappers over the registered specs, kept with their historical

@@ -128,6 +128,9 @@ class MetricsCollector:
         self._switch_depth_digests: Optional[List[QuantileDigest]] = None
         #: Per-output-port PFC pause-duration digests (switches and hosts).
         self._port_pause_digests: Optional[List[QuantileDigest]] = None
+        #: Online PFC deadlock detector; ``None`` until
+        #: :meth:`install_deadlock_detector` attaches it.
+        self.deadlock_detector = None
 
     # ------------------------------------------------------------------
     def ideal_fct(self, flow: Flow) -> float:
@@ -187,6 +190,34 @@ class MetricsCollector:
             digest = QuantileDigest()
             port.pause_digest = digest
             self._port_pause_digests.append(digest)
+
+    def install_deadlock_detector(self):
+        """Attach a :class:`~repro.sim.deadlock.PfcDeadlockDetector` fabric-wide.
+
+        Watches every output port's PFC pause state for wait-for cycles
+        (the paper's §2 circular-buffer-dependency deadlocks).  Like
+        :meth:`install_fabric_probes` this is pure observation -- no events,
+        no randomness -- so it is installed unconditionally by the runner.
+        Call once, after the network is built and before the run.
+        """
+        from repro.sim.deadlock import PfcDeadlockDetector
+
+        detector = PfcDeadlockDetector()
+        detector.install(self.network)
+        self.deadlock_detector = detector
+        return detector
+
+    @property
+    def deadlock_events(self) -> int:
+        """Wait-for cycles observed (0 when no detector is installed)."""
+        detector = self.deadlock_detector
+        return 0 if detector is None else detector.deadlock_events
+
+    @property
+    def time_to_deadlock_s(self) -> Optional[float]:
+        """Simulation time of the first deadlock event, if any."""
+        detector = self.deadlock_detector
+        return None if detector is None else detector.time_to_deadlock_s
 
     @staticmethod
     def _merge_probe_digests(

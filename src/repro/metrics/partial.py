@@ -35,7 +35,13 @@ __all__ = ["PartialAggregator", "aggregate_partial"]
 MEAN_P99_METRICS = ("avg_slowdown", "avg_fct_s", "tail_fct_s")
 
 #: Counters summed across seed replicas per cell.
-SUMMED_COUNTERS = ("packets_dropped", "pause_frames", "retransmissions", "timeouts")
+SUMMED_COUNTERS = (
+    "packets_dropped",
+    "pause_frames",
+    "retransmissions",
+    "timeouts",
+    "deadlock_events",
+)
 
 #: Digest-backed pooled-distribution columns, one entry per ``ResultRow``
 #: digest field: ``(row_field, column_prefix, unit_suffix, percentile labels,
@@ -63,7 +69,7 @@ class _CellState:
     """Running aggregate of every row absorbed for one parameter cell."""
 
     __slots__ = ("key", "replicas", "seeds", "metric_values", "drop_rates",
-                 "counters", "num_flows_total", "digests")
+                 "counters", "num_flows_total", "digests", "time_to_deadlock_s")
 
     def __init__(self, key: Tuple[Any, ...]) -> None:
         self.key = key
@@ -75,6 +81,8 @@ class _CellState:
         self.drop_rates: List[float] = []
         self.counters: Dict[str, int] = {c: 0 for c in SUMMED_COUNTERS}
         self.num_flows_total = 0
+        #: Earliest first-deadlock time across replicas (None until one fires).
+        self.time_to_deadlock_s: Optional[float] = None
         #: row digest field -> merged digest over every absorbed row.
         self.digests: Dict[str, Optional[QuantileDigest]] = {
             spec[0]: None for spec in DIGEST_COLUMNS
@@ -87,8 +95,13 @@ class _CellState:
             self.metric_values[metric].append(getattr(row, metric))
         self.drop_rates.append(row.drop_rate)
         for counter in SUMMED_COUNTERS:
-            self.counters[counter] += getattr(row, counter)
+            self.counters[counter] += getattr(row, counter, 0)
         self.num_flows_total += row.num_flows
+        ttd = getattr(row, "time_to_deadlock_s", None)
+        if ttd is not None and (
+            self.time_to_deadlock_s is None or ttd < self.time_to_deadlock_s
+        ):
+            self.time_to_deadlock_s = ttd
         for field, *_ in DIGEST_COLUMNS:
             payload = getattr(row, field, None)
             if payload is None:
@@ -111,6 +124,10 @@ class _CellState:
         for counter in SUMMED_COUNTERS:
             record[f"{counter}_total"] = self.counters[counter]
         record["num_flows_total"] = self.num_flows_total
+        if self.time_to_deadlock_s is not None:
+            # Earliest wedge across replicas -- only emitted when one fired,
+            # so deadlock-free cells keep their pre-detector record shape.
+            record["min_time_to_deadlock_s"] = self.time_to_deadlock_s
         for field, prefix, unit, fractions, count_col, sum_col in DIGEST_COLUMNS:
             digest = self.digests[field]
             if digest is None or not digest.count:

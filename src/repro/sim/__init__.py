@@ -7,6 +7,7 @@ output queues and round-robin scheduling, Priority Flow Control (PFC),
 ECN marking, ECMP routing and host NICs that schedule queue pairs.
 """
 
+from repro.sim.deadlock import PfcDeadlockDetector
 from repro.sim.engine import Simulator, Event
 from repro.sim.packet import Packet, PacketType
 from repro.sim.link import Link, OutputPort
@@ -16,6 +17,7 @@ from repro.sim.network import Network
 from repro.sim.routing import EcmpRouting, PacketSprayRouting
 
 __all__ = [
+    "PfcDeadlockDetector",
     "Simulator",
     "Event",
     "Packet",

@@ -136,9 +136,14 @@ class Simulator:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._seq = itertools.count()
+        self._events_scheduled = 0
         self._events_processed = 0
         self._events_cancelled = 0
         self._stopped = False
+        #: Execution trace: when a list, every executed event appends
+        #: ``(time, seq)``.  Off (None) by default -- the verify harness
+        #: enables it to check monotone-clock and cross-core order identity.
+        self._trace: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Scheduling (shared surface)
@@ -179,6 +184,20 @@ class Simulator:
     # Execution (shared surface)
     # ------------------------------------------------------------------
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever created via ``schedule*``/``set_timer*``.
+
+        Accounting identity (checked by the verify harness at all times)::
+
+            events_scheduled == events_processed + events_cancelled + pending_events
+
+        Cancelled-but-not-yet-discarded events still count as pending; they
+        migrate to :attr:`events_cancelled` when a drain loop, compaction,
+        sweep or wheel flush discards them.
+        """
+        return self._events_scheduled
+
+    @property
     def events_processed(self) -> int:
         """Number of events that have been executed so far."""
         return self._events_processed
@@ -197,6 +216,22 @@ class Simulator:
     def pending_events(self) -> int:
         """Events still queued (including cancelled ones not yet discarded)."""
         raise NotImplementedError
+
+    def enable_trace(self) -> list:
+        """Record ``(time, seq)`` for every executed event from now on.
+
+        Returns the (live) trace list.  Two cores fed the same workload must
+        produce byte-identical traces; the times must be non-decreasing.
+        Tracing is off by default and costs one ``None``-check per event.
+        """
+        if self._trace is None:
+            self._trace = []
+        return self._trace
+
+    @property
+    def trace(self) -> Optional[list]:
+        """The execution trace (``None`` unless :meth:`enable_trace` ran)."""
+        return self._trace
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -253,6 +288,7 @@ class _HeapSimulator(Simulator):
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
             )
         event = Event(time, next(self._seq), fn, args)
+        self._events_scheduled += 1
         heap = self._heap
         heapq.heappush(heap, event)
         if len(heap) >= self._compact_watermark:
@@ -291,6 +327,7 @@ class _HeapSimulator(Simulator):
         # benchmarks/perf_engine.py).
         heap = self._heap
         heappop = heapq.heappop
+        trace = self._trace
         executed = 0
         cancelled = 0
         try:
@@ -305,6 +342,8 @@ class _HeapSimulator(Simulator):
                     break
                 heappop(heap)
                 self.now = time
+                if trace is not None:
+                    trace.append((time, event.seq))
                 event.fn(*event.args)
                 executed += 1
                 if max_events is not None and executed >= max_events:
@@ -406,6 +445,7 @@ class _CalendarSimulator(Simulator):
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
             )
         event = Event(time, next(self._seq), fn, args)
+        self._events_scheduled += 1
         # Inlined _insert: this is the hottest schedule path.
         idx = int(time * self._inv_width)
         if idx > self._win_lo:
@@ -433,9 +473,11 @@ class _CalendarSimulator(Simulator):
         if slot <= self._wheel_flushed_thru:
             # The slot's flush horizon already passed: behave like schedule.
             event = Event(time, next(self._seq), fn, args)
+            self._events_scheduled += 1
             self._insert(event)
             return event
         event = Event(time, next(self._seq), fn, args)
+        self._events_scheduled += 1
         bucket = self._wheel.get(slot)
         if bucket is None:
             self._wheel[slot] = [event]
@@ -663,6 +705,7 @@ class _CalendarSimulator(Simulator):
         self._stopped = False
         limit = _INF if until is None else until
         budget = max_events if max_events is not None else None
+        trace = self._trace
         executed = 0
         try:
             while not self._stopped:
@@ -677,6 +720,8 @@ class _CalendarSimulator(Simulator):
                             break
                         self._cur_idx = idx + 1
                         self.now = time
+                        if trace is not None:
+                            trace.append((time, event.seq))
                         event.fn(*event.args)
                         executed += 1
                         if budget is not None and executed >= budget:

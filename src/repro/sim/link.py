@@ -162,6 +162,11 @@ class OutputPort:
         #: when attached (``ExperimentConfig.fabric_digests``), every PFC
         #: pause episode's duration is recorded at resume time.
         self.pause_digest = None
+        #: Optional pause-state observer (duck-typed ``.on_pause(port)`` /
+        #: ``.on_resume(port)``), called on every False->True / True->False
+        #: transition.  Pure observation -- the PFC deadlock detector hangs
+        #: its wait-for graph off this hook without adding events.
+        self.pause_observer = None
 
     @property
     def busy(self) -> bool:
@@ -177,6 +182,8 @@ class OutputPort:
             self.paused = True
             self.pause_count += 1
             self._paused_since = self.sim.now
+            if self.pause_observer is not None:
+                self.pause_observer.on_pause(self)
 
     def resume(self) -> None:
         """Resume transmission and immediately try to send."""
@@ -189,6 +196,8 @@ class OutputPort:
                 if self.pause_digest is not None:
                     self.pause_digest.add(duration)
                 self._paused_since = None
+            if self.pause_observer is not None:
+                self.pause_observer.on_resume(self)
             self.kick()
 
     # ------------------------------------------------------------------

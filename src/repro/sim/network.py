@@ -177,3 +177,12 @@ class Network:
     def total_forwarded_packets(self) -> int:
         """Total packets forwarded by all switches so far."""
         return sum(s.packets_forwarded for s in self.switches.values())
+
+    def total_queued_packets(self) -> int:
+        """Packets currently buffered across every switch VOQ.
+
+        The in-flight term of the conservation invariant checked by
+        ``repro.verify``: at drain, everything hosts committed to the wire is
+        either delivered, dropped, or still sitting in one of these queues.
+        """
+        return sum(s.total_queued_packets() for s in self.switches.values())

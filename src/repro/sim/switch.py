@@ -214,6 +214,18 @@ class Switch:
         """Bytes currently buffered in the switch."""
         return sum(p.occupancy for p in self.input_ports.values())
 
+    def total_queued_packets(self) -> int:
+        """Packets currently buffered in the switch (all VOQs).
+
+        Used by the verify harness's conservation invariant: at drain,
+        injected == delivered + dropped + still-queued, fabric-wide.
+        """
+        return sum(
+            len(queue)
+            for in_port in self.input_ports.values()
+            for queue in in_port.voqs.values()
+        )
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

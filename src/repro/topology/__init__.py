@@ -15,6 +15,7 @@ with :func:`register_topology` -- no engine module needs editing::
 """
 
 from repro.topology.registry import TOPOLOGIES, TopologyBuilder, register_topology
+from repro.topology.cyclic import build_ring
 from repro.topology.fattree import FatTreeParams, build_fat_tree
 from repro.topology.simple import (
     build_dumbbell,
@@ -30,5 +31,6 @@ __all__ = [
     "build_fat_tree",
     "build_dumbbell",
     "build_parking_lot",
+    "build_ring",
     "build_star",
 ]

@@ -1,0 +1,83 @@
+"""Cyclic topologies: fabrics with routing loops in the *buffer* graph.
+
+The preset fat-tree/star/dumbbell/parking-lot family is loop-free by
+construction, so none of those fabrics can ever exhibit the paper's §2
+circular-buffer-dependency (CBD) deadlock.  The ring built here is the
+minimal fabric that can: ``num_switches`` switches joined in a cycle, each
+with ``hosts_per_switch`` local hosts.
+
+With the ``circular`` workload (each switch's senders target the next
+switches around the ring), every switch's output port toward its local
+receiver is shared by two full-rate inter-switch inputs; those input buffers
+fill, each switch PFC-pauses both upstream switches, and the pause wait-for
+graph closes into the cycle the online detector
+(:mod:`repro.sim.deadlock`) reports.  Under IRN (PFC off) the same
+configuration drops instead of pausing and no deadlock can form.
+
+Host naming contract (relied on by the ``circular`` workload): host
+``h{i * hosts_per_switch + k}`` attaches to switch ``s{i}``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.network import Network
+from repro.sim.switch import SwitchConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+def build_ring(
+    sim: "Simulator",
+    num_switches: int = 3,
+    hosts_per_switch: int = 3,
+    bandwidth_bps: float = 10e9,
+    link_delay_s: float = 1e-6,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Network:
+    """A cycle of switches, each with local hosts.
+
+    Switches are ``s0 .. s{n-1}`` with ``s{i}`` linked to ``s{(i+1) % n}``;
+    hosts are ``h{i * hosts_per_switch + k}`` on switch ``s{i}``.
+    """
+    if num_switches < 3:
+        raise ValueError("a ring needs at least three switches to form a cycle")
+    if hosts_per_switch < 1:
+        raise ValueError("need at least one host per switch")
+    network = Network(sim)
+    for s in range(num_switches):
+        network.add_switch(f"s{s}", config=switch_config)
+    for s in range(num_switches):
+        network.connect(f"s{s}", f"s{(s + 1) % num_switches}", bandwidth_bps, link_delay_s)
+    for s in range(num_switches):
+        for k in range(hosts_per_switch):
+            name = f"h{s * hosts_per_switch + k}"
+            network.add_host(name)
+            network.connect(name, f"s{s}", bandwidth_bps, link_delay_s)
+    network.build_routing()
+    return network
+
+
+# ---------------------------------------------------------------------------
+# Registry entry (the experiment layer resolves topologies by name)
+# ---------------------------------------------------------------------------
+from repro.topology.registry import register_topology  # noqa: E402
+
+
+@register_topology(
+    "ring",
+    # Longest shortest path: halfway around the ring plus the two host hops.
+    max_hop_count=lambda config: config.ring_switches // 2 + 2,
+    switch_radix=lambda config: max(1, config.num_hosts // config.ring_switches) + 2,
+)
+def _build_ring_from_config(sim: "Simulator", config, switch_config) -> Network:
+    return build_ring(
+        sim,
+        num_switches=config.ring_switches,
+        hosts_per_switch=max(1, config.num_hosts // config.ring_switches),
+        bandwidth_bps=config.link_bandwidth_bps,
+        link_delay_s=config.link_delay_s,
+        switch_config=switch_config,
+    )

@@ -1,0 +1,527 @@
+"""Randomized simulation-case generation and execution.
+
+A :class:`FuzzCase` is derived *entirely* from one integer seed: topology
+(including cyclic rings and random meshes the preset families never
+produce), workload, transport scheme and fault schedule.  Reproducing a
+counterexample therefore needs nothing but its seed
+(``python -m repro.verify --seed N``).
+
+``run_case`` executes a case on one engine core and returns a
+:class:`CaseOutcome` -- the raw observations (execution trace, fabric and
+host counters, per-QP ordering violations) that
+:mod:`repro.verify.invariants` judges.  The harness in
+:mod:`repro.verify.harness` runs every case on *both* cores and also checks
+cross-core event-order identity.
+
+Fault kinds (all deterministic, all scheduled before the run starts):
+
+* **pause** -- pause/resume an output port for a window (a transient link
+  stall).  Only generated for non-lossless cases: under PFC the fault's
+  resume could fight the PFC state machine and un-pause a legitimately
+  paused port, which would make losslessness violations the *fuzzer's*
+  fault rather than the simulator's.
+* **drop** -- drop the Nth data packets arriving at one switch (counted as
+  ordinary congestion drops).  Only generated for non-lossless cases; the
+  harness's known-bad self-test injects one into a *lossless* case on
+  purpose to prove the losslessness invariant catches it.
+* **timer storm** -- a burst of set-then-mostly-cancel timers (the
+  retransmission pattern at adversarial volume), stressing the calendar
+  core's wheel-flush and overflow-band accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.transport import Flow
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import _FlowLauncher
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.packet import PacketType
+
+#: Topology families the fuzzer samples.  ``mesh`` is built directly (a
+#: random connected switch graph); the rest resolve through ``TOPOLOGIES``.
+TOPOLOGY_FAMILIES = ("star", "dumbbell", "parking_lot", "ring", "mesh")
+
+#: Transports the fuzzer samples (each paired with a pfc on/off coin).
+TRANSPORT_CHOICES = ("irn", "roce")
+
+#: Event budget per run; a case that exceeds it is reported as undrained
+#: (conservation is then skipped -- in-flight packets are unaccountable).
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+# ---------------------------------------------------------------------------
+# Fault schedule
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PauseFault:
+    """Pause the output port on the directed link ``src -> dst``."""
+
+    src: str
+    dst: str
+    start_s: float
+    end_s: float
+
+
+@dataclass(frozen=True)
+class DropFault:
+    """Drop the ``indices``-th data packets arriving at ``switch``."""
+
+    switch: str
+    indices: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TimerStormFault:
+    """At ``time_s`` set ``len(delays)`` timers; cancel ``cancel_now`` of
+    them immediately and another batch ``cancel_later`` after a delay."""
+
+    time_s: float
+    delays: Tuple[float, ...]
+    cancel_now: Tuple[int, ...]
+    cancel_later: Tuple[int, ...]
+    cancel_later_delay_s: float
+
+
+# ---------------------------------------------------------------------------
+# The case itself
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined simulation case (pure function of ``seed``)."""
+
+    seed: int
+    topology: str
+    transport: str
+    pfc_enabled: bool
+    num_hosts: int
+    ring_switches: int
+    mtu_bytes: int
+    bandwidth_bps: float
+    link_delay_s: float
+    buffer_bytes: int
+    #: (flow_id, src, dst, size_bytes, start_time) tuples.
+    flows: Tuple[Tuple[int, str, str, int, float], ...]
+    faults: Tuple[Any, ...] = ()
+    #: Mesh wiring, only for ``topology == "mesh"``: switch count, the
+    #: switch-switch edges, and each host's switch index.
+    mesh_links: Tuple[Tuple[int, int], ...] = ()
+    host_attach: Tuple[int, ...] = ()
+    max_sim_time_s: float = 0.05
+    max_events: int = DEFAULT_MAX_EVENTS
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int) -> "FuzzCase":
+        """Derive a case from ``seed`` (and nothing else)."""
+        rng = random.Random(seed)
+        topology = rng.choice(TOPOLOGY_FAMILIES)
+        transport = rng.choice(TRANSPORT_CHOICES)
+        pfc_enabled = rng.random() < 0.5
+        mtu = rng.choice((500, 1000, 1500))
+        bandwidth = rng.choice((5e9, 10e9))
+        delay = rng.choice((5e-7, 1e-6, 2e-6))
+        buffer_bytes = rng.randrange(8_000, 40_000, 1000)
+        ring_switches = rng.randint(3, 4)
+
+        mesh_links: Tuple[Tuple[int, int], ...] = ()
+        host_attach: Tuple[int, ...] = ()
+        if topology == "star":
+            num_hosts = rng.randint(3, 8)
+            hosts = [f"h{i}" for i in range(num_hosts)]
+            links = [("h%d" % i, "s0") for i in range(num_hosts)]
+            links += [("s0", "h%d" % i) for i in range(num_hosts)]
+        elif topology == "dumbbell":
+            num_hosts = rng.randint(4, 8)
+            hps = max(1, num_hosts // 2)
+            hosts = [f"h{i}" for i in range(2 * hps)]
+            links = [("s0", "s1"), ("s1", "s0")]
+            for i in range(hps):
+                links += [(f"h{i}", "s0"), ("s0", f"h{i}")]
+            for i in range(hps, 2 * hps):
+                links += [(f"h{i}", "s1"), ("s1", f"h{i}")]
+        elif topology == "parking_lot":
+            # The registered builder ignores num_hosts: 3 switches x 2 hosts.
+            num_hosts = 6
+            hosts = [f"h{i}" for i in range(6)]
+            links = [("s0", "s1"), ("s1", "s0"), ("s1", "s2"), ("s2", "s1")]
+            for i, s in enumerate((0, 0, 1, 1, 2, 2)):
+                links += [(f"h{i}", f"s{s}"), (f"s{s}", f"h{i}")]
+        elif topology == "ring":
+            hps = rng.randint(1, 3)
+            num_hosts = ring_switches * hps
+            hosts = [f"h{i}" for i in range(num_hosts)]
+            links = []
+            for s in range(ring_switches):
+                nxt = (s + 1) % ring_switches
+                links += [(f"s{s}", f"s{nxt}"), (f"s{nxt}", f"s{s}")]
+            for i in range(num_hosts):
+                s = i // hps
+                links += [(f"h{i}", f"s{s}"), (f"s{s}", f"h{i}")]
+        else:  # mesh
+            num_switches = rng.randint(2, 5)
+            edges = set()
+            # Random spanning tree keeps the graph connected...
+            for s in range(1, num_switches):
+                edges.add((rng.randrange(s), s))
+            # ...plus a few chords, which may close cycles.
+            for _ in range(rng.randint(0, num_switches)):
+                a = rng.randrange(num_switches)
+                b = rng.randrange(num_switches)
+                if a != b:
+                    edges.add((min(a, b), max(a, b)))
+            mesh_links = tuple(sorted(edges))
+            num_hosts = rng.randint(2, 6)
+            host_attach = tuple(rng.randrange(num_switches) for _ in range(num_hosts))
+            hosts = [f"h{i}" for i in range(num_hosts)]
+            links = []
+            for a, b in mesh_links:
+                links += [(f"m{a}", f"m{b}"), (f"m{b}", f"m{a}")]
+            for i, s in enumerate(host_attach):
+                links += [(f"h{i}", f"m{s}"), (f"m{s}", f"h{i}")]
+
+        # Workload: random pairs, sizes and start times.
+        num_flows = rng.randint(3, 14)
+        flows = []
+        for flow_id in range(num_flows):
+            src = rng.choice(hosts)
+            dst = src
+            while dst == src:
+                dst = rng.choice(hosts)
+            size = rng.randrange(mtu, 30_000)
+            start = rng.uniform(0.0, 200e-6)
+            flows.append((flow_id, src, dst, size, start))
+
+        # Fault schedule.
+        faults: List[Any] = []
+        if not pfc_enabled:
+            for _ in range(rng.randint(0, 2)):
+                src, dst = rng.choice(links)
+                start = rng.uniform(0.0, 150e-6)
+                faults.append(
+                    PauseFault(src, dst, start, start + rng.uniform(20e-6, 200e-6))
+                )
+            if rng.random() < 0.5:
+                switch_names = sorted({n for pair in links for n in pair if not n.startswith("h")})
+                indices = tuple(sorted(rng.sample(range(150), rng.randint(1, 5))))
+                faults.append(DropFault(rng.choice(switch_names), indices))
+        for _ in range(rng.randint(0, 2)):
+            count = rng.randint(40, 250)
+            delays = tuple(rng.uniform(1e-6, 4e-3) for _ in range(count))
+            ids = list(range(count))
+            rng.shuffle(ids)
+            split = int(count * 0.6)
+            faults.append(
+                TimerStormFault(
+                    time_s=rng.uniform(0.0, 200e-6),
+                    delays=delays,
+                    cancel_now=tuple(sorted(ids[:split])),
+                    cancel_later=tuple(sorted(ids[split:split + count // 5])),
+                    cancel_later_delay_s=rng.uniform(10e-6, 100e-6),
+                )
+            )
+
+        return cls(
+            seed=seed,
+            topology=topology,
+            transport=transport,
+            pfc_enabled=pfc_enabled,
+            num_hosts=num_hosts,
+            ring_switches=ring_switches,
+            mtu_bytes=mtu,
+            bandwidth_bps=bandwidth,
+            link_delay_s=delay,
+            buffer_bytes=buffer_bytes,
+            flows=tuple(flows),
+            faults=tuple(faults),
+            mesh_links=mesh_links,
+            host_attach=host_attach,
+        )
+
+    def with_faults(self, *faults: Any) -> "FuzzCase":
+        """A copy with a replaced fault schedule (known-bad self-test)."""
+        return replace(self, faults=tuple(faults))
+
+    # ------------------------------------------------------------------
+    def experiment_config(self) -> ExperimentConfig:
+        """The transport/switch settings as an :class:`ExperimentConfig`.
+
+        RTOs, the BDP cap and the buffer are explicit, so nothing consults
+        the topology registry -- meshes have no registered entry.  The
+        ``topology`` field is only cosmetic here (``_FlowLauncher`` never
+        reads it once those are pinned); ``workload`` is ``none`` because
+        the case carries its own flow list.
+        """
+        bdp = max(1, int(self.bandwidth_bps * 6 * self.link_delay_s / 8.0))
+        return ExperimentConfig(
+            name=f"fuzz-{self.seed}",
+            topology="star",
+            num_hosts=self.num_hosts,
+            link_bandwidth_bps=self.bandwidth_bps,
+            link_delay_s=self.link_delay_s,
+            pfc_enabled=self.pfc_enabled,
+            buffer_bytes_per_port=self.buffer_bytes,
+            transport=self.transport,
+            mtu_bytes=self.mtu_bytes,
+            rto_low_s=100e-6,
+            rto_high_s=320e-6,
+            bdp_cap_packets=max(2, bdp // self.mtu_bytes),
+            congestion_control="none",
+            workload="none",
+            seed=self.seed,
+            max_sim_time_s=self.max_sim_time_s,
+            max_events=self.max_events,
+            keep_flow_records=False,
+        )
+
+    def build_network(self, sim: Simulator) -> Network:
+        """Wire the case's fabric (registry builders where one exists)."""
+        config = self.experiment_config()
+        switch_config = config.switch_config()
+        if self.topology == "mesh":
+            network = Network(sim)
+            num_switches = 1 + max(
+                (max(a, b) for a, b in self.mesh_links), default=0
+            )
+            num_switches = max(num_switches, max(self.host_attach, default=0) + 1)
+            for s in range(num_switches):
+                network.add_switch(f"m{s}", config=switch_config)
+            for a, b in self.mesh_links:
+                network.connect(f"m{a}", f"m{b}", self.bandwidth_bps, self.link_delay_s)
+            for i, s in enumerate(self.host_attach):
+                network.add_host(f"h{i}")
+                network.connect(f"h{i}", f"m{s}", self.bandwidth_bps, self.link_delay_s)
+            network.build_routing()
+            return network
+        from repro.topology import TOPOLOGIES
+
+        builder = TOPOLOGIES.get(self.topology)
+        shaped = config.with_overrides(
+            topology=self.topology, ring_switches=self.ring_switches
+        )
+        return builder.build(sim, shaped, switch_config)
+
+    def build_flows(self) -> List[Flow]:
+        return [
+            Flow(flow_id=fid, src=src, dst=dst, size_bytes=size, start_time=start)
+            for fid, src, dst, size, start in self.flows
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary for counterexample repro files."""
+        return {
+            "seed": self.seed,
+            "topology": self.topology,
+            "transport": self.transport,
+            "pfc_enabled": self.pfc_enabled,
+            "num_hosts": self.num_hosts,
+            "num_flows": len(self.flows),
+            "faults": [type(f).__name__ for f in self.faults],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Fault installation
+# ---------------------------------------------------------------------------
+class DropInjector:
+    """Deterministically drops the Nth data packets arriving at one switch.
+
+    Wraps ``switch.receive``; dropped packets are accounted exactly like
+    congestion drops (``packets_dropped`` / ``bytes_dropped``), so the
+    conservation invariant still balances -- and a drop injected on a
+    *lossless* switch trips the losslessness invariant, which is the
+    harness's known-bad self-test.
+    """
+
+    def __init__(self, switch, indices) -> None:
+        self.switch = switch
+        self.indices = frozenset(indices)
+        self.seen = 0
+        self.injected = 0
+        self._orig_receive = switch.receive
+        switch.receive = self._receive
+
+    def _receive(self, packet, link) -> None:
+        if packet.ptype is PacketType.DATA:
+            index = self.seen
+            self.seen += 1
+            if index in self.indices:
+                self.switch.packets_dropped += 1
+                self.switch.bytes_dropped += packet.size_bytes
+                self.injected += 1
+                return
+        self._orig_receive(packet, link)
+
+
+def _noop() -> None:
+    return None
+
+
+def install_faults(sim: Simulator, network: Network, case: FuzzCase) -> List[DropInjector]:
+    """Schedule every fault in ``case`` (returns the live drop injectors)."""
+    injectors: List[DropInjector] = []
+    for fault in case.faults:
+        if isinstance(fault, PauseFault):
+            node = network.node(fault.src)
+            port = None
+            if hasattr(node, "port_towards"):
+                try:
+                    port = node.port_towards(fault.dst)
+                except KeyError:  # pragma: no cover - defensive
+                    port = None
+            elif getattr(node, "uplink_port", None) is not None:
+                port = node.uplink_port
+            if port is None:
+                continue
+            sim.schedule_at(fault.start_s, port.pause)
+            sim.schedule_at(fault.end_s, port.resume)
+        elif isinstance(fault, DropFault):
+            switch = network.switches.get(fault.switch)
+            if switch is not None:
+                injectors.append(DropInjector(switch, fault.indices))
+        elif isinstance(fault, TimerStormFault):
+            sim.schedule_at(fault.time_s, _fire_timer_storm, sim, fault)
+    return injectors
+
+
+def _fire_timer_storm(sim: Simulator, fault: TimerStormFault) -> None:
+    timers = [sim.set_timer(delay, _noop) for delay in fault.delays]
+    for index in fault.cancel_now:
+        sim.cancel(timers[index])
+    if fault.cancel_later:
+        later = [timers[index] for index in fault.cancel_later]
+        sim.schedule(
+            fault.cancel_later_delay_s,
+            lambda: [sim.cancel(timer) for timer in later],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-QP delivery-ordering tap
+# ---------------------------------------------------------------------------
+class OrderingTracker:
+    """Watches every receiver's in-order delivery frontier.
+
+    The per-QP contract shared by all transports: the receiver's
+    ``expected_psn`` (the in-order frontier acknowledged back to the
+    sender) never regresses, whatever the arrival order.  Violations are
+    recorded, not raised, so a single run reports every broken QP.
+    """
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+
+    def tap(self, receiver, flow: Flow) -> None:
+        if not hasattr(receiver, "expected_psn"):
+            return
+        orig_on_data = receiver.on_data
+        frontier = [receiver.expected_psn]
+        violations = self.violations
+
+        def tapped(packet, now):
+            result = orig_on_data(packet, now)
+            current = receiver.expected_psn
+            if current < frontier[0]:
+                violations.append(
+                    f"flow {flow.flow_id} ({flow.src}->{flow.dst}): expected_psn "
+                    f"regressed {frontier[0]} -> {current} at t={now}"
+                )
+            frontier[0] = current
+            return result
+
+        receiver.on_data = tapped
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+@dataclass
+class CaseOutcome:
+    """Raw observations from one run of one case on one engine core."""
+
+    queue_kind: str
+    trace: List[Tuple[float, int]]
+    events_scheduled: int
+    events_processed: int
+    events_cancelled: int
+    pending_events: int
+    drained: bool
+    packets_committed: int      # host NIC pulls (data + control)
+    packets_delivered: int      # host receives (data + control)
+    switch_drops: int
+    injected_drops: int
+    queued_packets: int
+    flows_total: int
+    flows_completed: int
+    completions_recorded: int
+    ordering_violations: List[str] = field(default_factory=list)
+    deadlock_events: int = 0
+    time_to_deadlock_s: Optional[float] = None
+    pause_frames: int = 0
+
+
+def run_case(case: FuzzCase, queue: Optional[str] = None) -> CaseOutcome:
+    """Execute ``case`` on the requested engine core."""
+    sim = Simulator(
+        seed=case.seed,
+        queue=queue,
+        bucket_width_s=case.mtu_bytes * 8.0 / case.bandwidth_bps,
+    )
+    trace = sim.enable_trace()
+    network = case.build_network(sim)
+    config = case.experiment_config()
+    collector = MetricsCollector(
+        network,
+        mtu_bytes=case.mtu_bytes,
+        header_bytes=config.effective_header_bytes(),
+        keep_records=False,
+    )
+    detector = collector.install_deadlock_detector()
+    launcher = _FlowLauncher(sim, network, config, collector)
+    ordering = OrderingTracker()
+
+    def launch(flow: Flow) -> None:
+        launcher.launch(flow)
+        ordering.tap(launcher.receivers[-1], flow)
+
+    flows = case.build_flows()
+    for flow in flows:
+        sim.schedule_at(flow.start_time, launch, flow)
+    injectors = install_faults(sim, network, case)
+
+    sim.run(until=case.max_sim_time_s, max_events=case.max_events)
+    # Let retransmissions and queued traffic drain to quiescence (bounded by
+    # the event valve); conservation is only judged on fully-drained runs.
+    sim.run_until_idle(max_events=case.max_events)
+
+    hosts = network.hosts.values()
+    return CaseOutcome(
+        queue_kind=sim.queue_kind,
+        trace=trace,
+        events_scheduled=sim.events_scheduled,
+        events_processed=sim.events_processed,
+        events_cancelled=sim.events_cancelled,
+        pending_events=sim.pending_events,
+        drained=sim.pending_events == 0,
+        packets_committed=sum(
+            h.data_packets_sent + h.control_packets_sent for h in hosts
+        ),
+        packets_delivered=sum(
+            h.data_packets_received + h.control_packets_received for h in hosts
+        ),
+        switch_drops=network.total_dropped_packets(),
+        injected_drops=sum(injector.injected for injector in injectors),
+        queued_packets=network.total_queued_packets(),
+        flows_total=len(flows),
+        flows_completed=sum(1 for flow in flows if flow.completed),
+        completions_recorded=collector.completed_count,
+        ordering_violations=ordering.violations,
+        deadlock_events=detector.deadlock_events,
+        time_to_deadlock_s=detector.time_to_deadlock_s,
+        pause_frames=network.total_pause_frames(),
+    )

@@ -12,6 +12,7 @@ from repro.workload.distributions import (
     UniformSizes,
     FixedSizes,
 )
+from repro.workload.circular import circular_workload
 from repro.workload.generator import PoissonWorkload, WorkloadParams
 from repro.workload.incast import IncastParams, build_incast_flows
 
@@ -24,6 +25,7 @@ __all__ = [
     "FixedSizes",
     "PoissonWorkload",
     "WorkloadParams",
+    "circular_workload",
     "IncastParams",
     "build_incast_flows",
 ]

@@ -1,7 +1,24 @@
-"""Property-based tests (hypothesis) for core data structures and invariants."""
+"""Property-based tests: data-structure invariants and the fuzz harness.
+
+Two layers:
+
+* **Unit-level properties** (hypothesis over the data structures): bitmaps,
+  receivers, RDMA placement, statistics, workload distributions.
+* **Whole-simulation invariants** (hypothesis over fuzz seeds): every
+  generated case -- arbitrary topology, workload and fault schedule from
+  :mod:`repro.verify` -- must satisfy the invariant contract on *both*
+  engine cores (see ``docs/architecture.md``).  Each invariant gets its own
+  test so a violation names the property, not just the seed.
+
+The fuzz layer keeps ``max_examples`` small: this is tier-1's fast smoke
+slice.  CI's dedicated fuzz job (``python -m repro.verify``) runs the same
+harness at 50+ cases per PR and deeper nightly via ``REPRO_FUZZ_BUDGET``.
+"""
 
 import random
+from functools import lru_cache
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.irn import IrnConfig, IrnReceiver
@@ -19,7 +36,10 @@ from repro.rdma import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet, PacketType
+from repro.verify import FuzzCase, check_case, known_bad_case, run_case
 from repro.workload.distributions import HeavyTailedSizes, UniformSizes
+
+ENGINE_CORES = ("calendar", "heap")
 
 
 # ---------------------------------------------------------------------------
@@ -169,3 +189,101 @@ def test_uniform_samples_within_bounds(seed):
     rng = random.Random(seed)
     for _ in range(20):
         assert 1_000 <= dist.sample(rng) <= 9_000
+
+
+# ===========================================================================
+# Whole-simulation invariants over fuzzed cases (repro.verify)
+# ===========================================================================
+#: Small seed band so the cached outcomes below are shared across the
+#: per-invariant tests; derandomize keeps tier-1 byte-stable run to run.
+fuzz_seeds = st.integers(min_value=0, max_value=31)
+FUZZ_SETTINGS = dict(deadline=None, max_examples=8, derandomize=True)
+
+
+@lru_cache(maxsize=256)
+def _fuzz_outcome(seed, queue):
+    """One execution per (seed, core), shared by every invariant test."""
+    return FuzzCase.generate(seed), run_case(FuzzCase.generate(seed), queue=queue)
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_clock_is_monotone(queue, seed):
+    _, outcome = _fuzz_outcome(seed, queue)
+    times = [time for time, _ in outcome.trace]
+    assert times == sorted(times)
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_event_accounting_identity(queue, seed):
+    _, outcome = _fuzz_outcome(seed, queue)
+    assert outcome.events_scheduled == (
+        outcome.events_processed + outcome.events_cancelled + outcome.pending_events
+    )
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_lossless_ports_never_drop(queue, seed):
+    case, outcome = _fuzz_outcome(seed, queue)
+    if case.pfc_enabled:
+        assert outcome.switch_drops == 0
+    else:
+        # Injected drops must land in the ordinary drop counters.
+        assert outcome.switch_drops >= outcome.injected_drops
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_packet_conservation_at_drain(queue, seed):
+    _, outcome = _fuzz_outcome(seed, queue)
+    if not outcome.drained:
+        pytest.skip("run hit the event valve; conservation needs full drain")
+    assert outcome.packets_committed == (
+        outcome.packets_delivered + outcome.switch_drops + outcome.queued_packets
+    )
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_per_qp_delivery_order_preserved(queue, seed):
+    _, outcome = _fuzz_outcome(seed, queue)
+    assert outcome.ordering_violations == []
+
+
+@pytest.mark.parametrize("queue", ENGINE_CORES)
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_completions_are_sane(queue, seed):
+    _, outcome = _fuzz_outcome(seed, queue)
+    assert outcome.flows_completed <= outcome.flows_total
+    assert outcome.completions_recorded == outcome.flows_completed
+
+
+@settings(**FUZZ_SETTINGS)
+@given(seed=fuzz_seeds)
+def test_fuzz_calendar_and_heap_execute_identical_orders(seed):
+    _, calendar = _fuzz_outcome(seed, "calendar")
+    _, heap = _fuzz_outcome(seed, "heap")
+    assert calendar.trace == heap.trace
+    assert calendar.events_scheduled == heap.events_scheduled
+    assert calendar.events_processed == heap.events_processed
+    assert calendar.packets_delivered == heap.packets_delivered
+    assert calendar.switch_drops == heap.switch_drops
+    assert calendar.deadlock_events == heap.deadlock_events
+    assert calendar.time_to_deadlock_s == heap.time_to_deadlock_s
+
+
+def test_known_bad_case_is_caught_by_losslessness_invariant():
+    """The seeded known-bad config (drop injected on a lossless port) must
+    trip the losslessness invariant -- the harness's proof it can still
+    detect the bug class it exists for."""
+    report = check_case(known_bad_case())
+    assert not report.passed
+    assert any("losslessness violated" in v for v in report.violations)
