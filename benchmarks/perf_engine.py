@@ -9,17 +9,25 @@ each run under **both** scheduler cores (``queue="heap"`` and the default
 * ``churn``      -- a synthetic self-rescheduling event chain plus the
   transports' set-then-cancel retransmission-timer pattern (3 cancelled
   320us wheel timers per executed event).  Pure engine, no fabric.
-* ``saturated``  -- RoCE-over-PFC fixed-size flows driving a star fabric at
-  saturation: long busy periods, the departure-batching fast path.
+* ``saturated``  -- IRN fixed-size flows driving a lossy star fabric at
+  saturation: long busy periods, the departure-batching fast path, and the
+  receiver ACK pipeline under steady in-order delivery.
 * ``incast``     -- a 30-to-1 incast request on PFC (Figure 9's regime):
   synchronized arrivals, deep queues, pause/resume storms.
 * ``irn_timer``  -- IRN on a lossy fabric at high load: NACK-driven
   recovery, per-packet RTO arm/cancel, the timer-wheel's home turf.
+* ``ack_heavy``  -- many small DCQCN-paced IRN flows at full load: the
+  regime ACK coalescing and pacing quantization were built for.  Also
+  measured once with both knobs forced off to report the *event-count
+  reduction* the transport-level batching delivers.
 * ``macro``      -- one full scaled-down Figure 1 IRN run, the end-to-end
   number the ROADMAP tracks.
 
-Both cores execute identical event streams (asserted after every run), so
-the per-workload events/s values are directly comparable.
+All cores execute identical event streams (asserted after every run), so
+the per-workload events/s values are directly comparable.  When the
+compiled core has been built (``python -m repro.sim.compiled --build``) a
+``calendar_c`` column is measured and guarded too; without it the suite
+silently reports the two pure-Python cores only.
 
 Run with::
 
@@ -48,6 +56,20 @@ from repro.sim.engine import Simulator
 
 #: Workloads whose calendar/heap speedup the CI guard checks.
 GUARDED_WORKLOADS = ("churn", "macro")
+
+#: Workloads whose ACK-coalescing event reduction the guard checks, and the
+#: floor it must clear (the PR's acceptance criterion).
+REDUCTION_GUARD = {"saturated": 0.30, "ack_heavy": 0.30}
+
+
+def cores() -> tuple:
+    """Scheduler cores to measure: the compiled one only when built."""
+    from repro.sim import compiled
+
+    names = ["heap", "calendar"]
+    if compiled.available():
+        names.append("calendar_c")
+    return tuple(names)
 
 
 # ---------------------------------------------------------------------------
@@ -84,13 +106,14 @@ def _scenario_workload(config):
             _build_network,
             _FlowLauncher,
             _generate_flows,
+            bucket_width_for,
         )
         from repro.metrics.collector import MetricsCollector
 
         sim = Simulator(
             seed=config.seed,
             queue=queue,
-            bucket_width_s=config.mtu_bytes * 8.0 / config.link_bandwidth_bps,
+            bucket_width_s=bucket_width_for(config),
         )
         network = _build_network(sim, config)
         collector = MetricsCollector(
@@ -109,6 +132,9 @@ def _scenario_workload(config):
 
 
 def _saturated_config():
+    # IRN without PFC so the receiver ACK path is actually on the clock:
+    # the coalescing reduction below would be meaningless on a transport
+    # that barely exercises it.
     from repro.experiments.config import ExperimentConfig
 
     return ExperimentConfig(
@@ -117,9 +143,9 @@ def _saturated_config():
         num_hosts=6,
         link_bandwidth_bps=10e9,
         link_delay_s=2e-6,
-        transport="roce",
-        pfc_enabled=True,
-        workload="fixed",
+        transport="irn",
+        pfc_enabled=False,
+        workload="heavy_tailed",
         num_flows=150,
         target_load=1.0,
         flow_size_scale=0.3,
@@ -167,10 +193,40 @@ def _irn_timer_config():
     )
 
 
+def _ack_heavy_config():
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        name="bench-ack-heavy",
+        topology="star",
+        num_hosts=8,
+        link_bandwidth_bps=10e9,
+        link_delay_s=2e-6,
+        transport="irn",
+        congestion_control="dcqcn",
+        pfc_enabled=False,
+        workload="fixed",
+        fixed_size_bytes=64_000,
+        num_flows=80,
+        target_load=1.0,
+        pacing_quantum_us=3.2,
+        seed=1,
+        max_sim_time_s=1.0,
+    )
+
+
 def _macro_config():
     from repro.experiments import scenarios
 
     return scenarios.fig1_configs(num_flows=120)["IRN (without PFC)"]
+
+
+#: Configs re-run once with coalescing/quantization forced off so the
+#: report can state the event-count reduction the batching delivers.
+REDUCTION_CONFIGS = {
+    "saturated": _saturated_config,
+    "ack_heavy": _ack_heavy_config,
+}
 
 
 def workloads():
@@ -180,7 +236,30 @@ def workloads():
         "saturated": _scenario_workload(_saturated_config()),
         "incast": _scenario_workload(_incast_config()),
         "irn_timer": _scenario_workload(_irn_timer_config()),
+        "ack_heavy": _scenario_workload(_ack_heavy_config()),
         "macro": _scenario_workload(_macro_config()),
+    }
+
+
+def measure_reduction(name: str) -> dict:
+    """Event counts with transport batching on vs off (single calendar run).
+
+    "Off" pins per-packet ACKs and unquantized pacing
+    (``ack_coalesce_n=1``, ``pacing_quantum_us=0``) -- the pre-batching
+    event stream -- so the reported reduction is exactly what the
+    transport-level work deleted, independent of machine speed.
+    """
+    config = REDUCTION_CONFIGS[name]()
+    run_on = _scenario_workload(config)
+    run_off = _scenario_workload(
+        config.with_overrides(ack_coalesce_n=1, pacing_quantum_us=0.0)
+    )
+    events_on, _ = run_on("calendar")
+    events_off, _ = run_off("calendar")
+    return {
+        "events_coalesced": events_on,
+        "events_uncoalesced": events_off,
+        "ack_event_reduction": 1.0 - events_on / events_off,
     }
 
 
@@ -189,56 +268,82 @@ def workloads():
 # ---------------------------------------------------------------------------
 
 def measure(names=None, repeats: int = 3) -> dict:
-    """Run each workload on both cores; best-of-``repeats`` rates + ratio."""
+    """Run each workload on every core; best-of-``repeats`` rates + ratios."""
     table = workloads()
     if names:
         missing = sorted(set(names) - set(table))
         if missing:
             raise SystemExit(f"unknown workload(s): {missing}; valid: {sorted(table)}")
         table = {name: table[name] for name in table if name in names}
+    active_cores = cores()
     report: dict = {}
     for name, fn in table.items():
-        rates = {"heap": 0.0, "calendar": 0.0}
+        rates = {queue: 0.0 for queue in active_cores}
         events = {}
-        # Interleave the cores so thermal/background drift hits both alike.
+        # Interleave the cores so thermal/background drift hits all alike.
         for _ in range(repeats):
-            for queue in ("heap", "calendar"):
+            for queue in active_cores:
                 n, elapsed = fn(queue)
                 events[queue] = n
                 rates[queue] = max(rates[queue], n / elapsed)
-        if events["heap"] != events["calendar"]:
+        if len(set(events.values())) != 1:
             raise SystemExit(
-                f"{name}: cores diverged ({events['heap']} vs "
-                f"{events['calendar']} events) -- determinism bug"
+                f"{name}: cores diverged ({events}) -- determinism bug"
             )
-        report[name] = {
-            "events": events["calendar"],
-            "heap_events_per_s": rates["heap"],
-            "calendar_events_per_s": rates["calendar"],
-            "speedup": rates["calendar"] / rates["heap"],
-        }
+        row = {"events": events["calendar"]}
+        for queue in active_cores:
+            row[f"{queue}_events_per_s"] = rates[queue]
+        row["speedup"] = rates["calendar"] / rates["heap"]
+        if "calendar_c" in rates:
+            row["speedup_c"] = rates["calendar_c"] / rates["heap"]
+        if name in REDUCTION_CONFIGS:
+            row.update(measure_reduction(name))
+        report[name] = row
+        columns = "   ".join(
+            f"{queue} {rates[queue]:>10,.0f} ev/s" for queue in active_cores
+        )
+        extra = ""
+        if "ack_event_reduction" in row:
+            extra = f"  ack-batching deletes {row['ack_event_reduction']:.1%} of events"
         print(
-            f"{name:<10} heap {rates['heap']:>10,.0f} ev/s   "
-            f"calendar {rates['calendar']:>10,.0f} ev/s   "
-            f"x{report[name]['speedup']:.2f}  ({events['calendar']} events)"
+            f"{name:<10} {columns}   x{row['speedup']:.2f}"
+            f"  ({events['calendar']} events){extra}"
         )
     return report
 
 
 def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
-    """Return failure strings for guarded speedups below baseline*(1-tol)."""
+    """Return failure strings for guarded ratios below their floors.
+
+    Three guards: the calendar/heap speedup on :data:`GUARDED_WORKLOADS`
+    (vs the checked-in baseline), the compiled-core speedup on the same
+    workloads when both the extension and a baseline column are present,
+    and the absolute ACK-batching event reduction on
+    :data:`REDUCTION_GUARD` workloads (a fixed floor -- deterministic
+    event counts, no machine-speed term, so no tolerance applies).
+    """
     failures = []
     base_workloads = baseline.get("workloads", {})
     for name in GUARDED_WORKLOADS:
         if name not in report or name not in base_workloads:
             continue
-        measured = report[name]["speedup"]
-        expected = base_workloads[name]["speedup"]
-        floor = expected * (1.0 - tolerance)
-        if measured < floor:
+        for key, label in (("speedup", "calendar/heap"), ("speedup_c", "calendar_c/heap")):
+            measured = report[name].get(key)
+            expected = base_workloads[name].get(key)
+            if measured is None or expected is None:
+                continue
+            floor = expected * (1.0 - tolerance)
+            if measured < floor:
+                failures.append(
+                    f"{name}: {label} speedup {measured:.3f} fell below "
+                    f"{floor:.3f} (baseline {expected:.3f} - {tolerance:.0%})"
+                )
+    for name, floor in REDUCTION_GUARD.items():
+        measured = report.get(name, {}).get("ack_event_reduction")
+        if measured is not None and measured < floor:
             failures.append(
-                f"{name}: calendar/heap speedup {measured:.3f} fell below "
-                f"{floor:.3f} (baseline {expected:.3f} - {tolerance:.0%})"
+                f"{name}: ack-batching event reduction {measured:.1%} fell "
+                f"below the {floor:.0%} floor"
             )
     return failures
 

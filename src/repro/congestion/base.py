@@ -33,8 +33,18 @@ class CongestionControl:
         return base
 
     # --- feedback hooks -------------------------------------------------------
-    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
-        """Called for every acknowledgement carrying an RTT sample."""
+    def on_ack(
+        self, rtt: float, now: float, ecn_echo: bool = False, newly_acked: int = 1
+    ) -> None:
+        """Called for every acknowledgement carrying an RTT sample.
+
+        ``newly_acked`` is how many packets this acknowledgement newly
+        covers.  With receiver-side ACK coalescing one cumulative ACK stands
+        in for a whole window of per-packet ACKs; window-based schemes credit
+        the full count so their growth dynamics do not depend on the
+        coalescing degree.  Rate-based schemes (one RTT sample per ACK
+        *frame*) may ignore it.
+        """
 
     def on_cnp(self, now: float) -> None:
         """Called when a DCQCN congestion notification packet arrives."""
@@ -70,6 +80,12 @@ class RateBasedControl(CongestionControl):
         self.min_rate_bps = min_rate_bps if min_rate_bps is not None else line_rate_bps / 1000.0
         self.rate_bps = line_rate_bps
         self._next_tx_time = 0.0
+        #: Sending credit (seconds) the pacer may accumulate while its
+        #: wake-up is deferred onto a quantized grid: a sender woken late may
+        #: burst through at most this much backlog at the current rate, which
+        #: preserves the average rate under batched wake-ups.  0 keeps strict
+        #: per-packet pacing (no credit survives an idle gap).
+        self.burst_credit_s = 0.0
 
     def clamp_rate(self) -> None:
         """Keep the rate within [min_rate, line_rate]."""
@@ -77,7 +93,7 @@ class RateBasedControl(CongestionControl):
 
     def on_packet_sent(self, size_bits: int, now: float) -> None:
         gap = size_bits / self.rate_bps
-        self._next_tx_time = max(self._next_tx_time, now) + gap
+        self._next_tx_time = max(self._next_tx_time, now - self.burst_credit_s) + gap
 
     def next_send_time(self, now: float) -> float:
         return max(now, self._next_tx_time)

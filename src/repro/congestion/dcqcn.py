@@ -99,8 +99,14 @@ class Dcqcn(RateBasedControl):
         self._last_alpha_update = now
         self.clamp_rate()
 
-    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
-        """ACKs drive the timer-based alpha decay and rate increase."""
+    def on_ack(
+        self, rtt: float, now: float, ecn_echo: bool = False, newly_acked: int = 1
+    ) -> None:
+        """ACKs drive the timer-based alpha decay and rate increase.
+
+        The timers advance on wall-clock ``now``; how many packets the ACK
+        covers is irrelevant, so ``newly_acked`` is ignored.
+        """
         self._advance_timers(now)
 
     def on_timeout(self, now: float) -> None:

@@ -59,6 +59,17 @@ class CongestionScheme:
     rtt_based: bool = False
     #: Receivers emit DCQCN-style CNPs when they receive marked packets.
     wants_cnp: bool = False
+    #: Hard cap on receiver-side cumulative-ACK coalescing while this scheme
+    #: is active (``None`` = no scheme-imposed cap).  RTT-based schemes read
+    #: their congestion signal out of the per-packet ACK stream, so they pin
+    #: the coalescing window to 1; purely timer/CNP-driven schemes tolerate
+    #: any degree.
+    max_ack_coalesce: Optional[int] = None
+    #: CNP pacing for ``wants_cnp`` schemes: the minimum spacing between
+    #: CNPs a receiver emits, in units of the fabric's base RTT (the wiring
+    #: floors the product at 5 us so scaled-down fabrics keep a sane
+    #: notification-point interval).
+    cnp_interval_rtts: float = 1.0
 
     def build(
         self, line_rate_bps: float, base_rtt_s: float, params: Optional[Any] = None
@@ -76,6 +87,8 @@ def register_congestion_control(
     step_marking: bool = False,
     rtt_based: bool = False,
     wants_cnp: bool = False,
+    max_ack_coalesce: Optional[int] = None,
+    cnp_interval_rtts: float = 1.0,
     aliases: Sequence[str] = (),
     replace: bool = False,
 ):
@@ -95,6 +108,8 @@ def register_congestion_control(
                 step_marking=step_marking,
                 rtt_based=rtt_based,
                 wants_cnp=wants_cnp,
+                max_ack_coalesce=max_ack_coalesce,
+                cnp_interval_rtts=cnp_interval_rtts,
             ),
             aliases=aliases,
             replace=replace,
@@ -165,7 +180,7 @@ def _make_dcqcn(line_rate_bps: float, base_rtt_s: float, params=None) -> Congest
     return Dcqcn(line_rate_bps, params)
 
 
-@register_congestion_control("timely", rtt_based=True)
+@register_congestion_control("timely", rtt_based=True, max_ack_coalesce=1)
 def _make_timely(line_rate_bps: float, base_rtt_s: float, params=None) -> CongestionControl:
     params = params or TimelyParams(
         t_low_s=1.5 * base_rtt_s,

@@ -62,8 +62,12 @@ class Timely(RateBasedControl):
         self.decreases = 0
         self.increases = 0
 
-    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
-        """Update the rate from a new RTT sample."""
+    def on_ack(
+        self, rtt: float, now: float, ecn_echo: bool = False, newly_acked: int = 1
+    ) -> None:
+        """Update the rate from a new RTT sample (one sample per ACK frame;
+        ``newly_acked`` never multiplies the gradient input, which is why the
+        scheme registers ``max_ack_coalesce=1``)."""
         if rtt <= 0:
             return
         self.rtt_samples += 1

@@ -46,12 +46,19 @@ class AimdWindow(CongestionControl):
     def window_limit(self, base: float) -> float:
         return min(base, self.cwnd)
 
-    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
-        """Grow the window: exponentially in slow start, else 1/cwnd per ACK."""
-        if self.params.slow_start and self.cwnd < self.ssthresh:
-            self.cwnd += 1.0
-        else:
-            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+    def on_ack(
+        self, rtt: float, now: float, ecn_echo: bool = False, newly_acked: int = 1
+    ) -> None:
+        """Grow the window: exponentially in slow start, else 1/cwnd per ACK.
+
+        A coalesced cumulative ACK covering ``newly_acked`` packets grows the
+        window exactly as the equivalent per-packet ACK train would.
+        """
+        for _ in range(max(1, newly_acked)):
+            if self.params.slow_start and self.cwnd < self.ssthresh:
+                self.cwnd += 1.0
+            else:
+                self.cwnd += 1.0 / max(self.cwnd, 1.0)
         self.cwnd = min(self.cwnd, self.params.max_window)
 
     def on_loss(self, now: float) -> None:
@@ -96,25 +103,33 @@ class DctcpWindow(CongestionControl):
     def window_limit(self, base: float) -> float:
         return min(base, self.cwnd)
 
-    def on_ack(self, rtt: float, now: float, ecn_echo: bool = False) -> None:
-        """Accumulate mark statistics; every cwnd ACKs update alpha and cwnd."""
-        self._acked_in_window += 1
-        if ecn_echo:
-            self._marked_in_window += 1
-        # Additive increase each RTT (approximated per-ACK).
-        self.cwnd += 1.0 / max(self.cwnd, 1.0)
-        self.cwnd = min(self.cwnd, self.params.max_window)
+    def on_ack(
+        self, rtt: float, now: float, ecn_echo: bool = False, newly_acked: int = 1
+    ) -> None:
+        """Accumulate mark statistics; every cwnd ACKs update alpha and cwnd.
 
-        if self._acked_in_window >= self._window_acks_target:
-            fraction = self._marked_in_window / max(1, self._acked_in_window)
-            gain = self.params.ewma_gain
-            self.alpha = (1.0 - gain) * self.alpha + gain * fraction
-            if self._marked_in_window > 0:
-                self.cwnd = max(self.params.min_window, self.cwnd * (1.0 - self.alpha / 2.0))
-                self.window_cuts += 1
-            self._acked_in_window = 0
-            self._marked_in_window = 0
-            self._window_acks_target = max(1, int(self.cwnd))
+        A coalesced ACK is unrolled into its per-packet equivalents; the
+        receiver ORs ECN marks over the coalescing window, so the mark
+        fraction is a (conservative) upper bound under coalescing.
+        """
+        for _ in range(max(1, newly_acked)):
+            self._acked_in_window += 1
+            if ecn_echo:
+                self._marked_in_window += 1
+            # Additive increase each RTT (approximated per-ACK).
+            self.cwnd += 1.0 / max(self.cwnd, 1.0)
+            self.cwnd = min(self.cwnd, self.params.max_window)
+
+            if self._acked_in_window >= self._window_acks_target:
+                fraction = self._marked_in_window / max(1, self._acked_in_window)
+                gain = self.params.ewma_gain
+                self.alpha = (1.0 - gain) * self.alpha + gain * fraction
+                if self._marked_in_window > 0:
+                    self.cwnd = max(self.params.min_window, self.cwnd * (1.0 - self.alpha / 2.0))
+                    self.window_cuts += 1
+                self._acked_in_window = 0
+                self._marked_in_window = 0
+                self._window_acks_target = max(1, int(self.cwnd))
 
     def on_loss(self, now: float) -> None:
         self.loss_events += 1

@@ -152,12 +152,22 @@ class IrnSender(BaseSender):
     # ------------------------------------------------------------------
     def _handle_ack(self, packet: Packet, now: float) -> None:
         if self.cc is not None:
-            self.cc.on_ack(now - packet.echo_time, now, packet.ecn_echo)
+            self.cc.on_ack(
+                now - packet.echo_time,
+                now,
+                packet.ecn_echo,
+                newly_acked=self._newly_acked(packet.cumulative_ack),
+            )
         self._advance(packet.cumulative_ack, now)
 
     def _handle_nack(self, packet: Packet, now: float) -> None:
         if self.cc is not None:
-            self.cc.on_ack(now - packet.echo_time, now, packet.ecn_echo)
+            self.cc.on_ack(
+                now - packet.echo_time,
+                now,
+                packet.ecn_echo,
+                newly_acked=self._newly_acked(packet.cumulative_ack),
+            )
         if packet.error_nack:
             # "Receiver not ready" style errors fall back to go-back-N (§B.4).
             self._advance(packet.cumulative_ack, now)
@@ -253,8 +263,12 @@ class IrnReceiver(BaseReceiver):
 
         psn = packet.psn
         if psn < self.expected_psn or psn in self.ooo_received:
+            # Duplicates signal recovery in progress: the ACK fires
+            # immediately (and supersedes any banked coalescing window,
+            # since it carries the latest cumulative acknowledgement).
             self.duplicates_received += 1
             if self.config.generate_acks:
+                self._absorb_pending_ack()
                 responses.append(
                     self._control(PacketType.ACK, packet, cumulative_ack=self.expected_psn)
                 )
@@ -265,15 +279,15 @@ class IrnReceiver(BaseReceiver):
             self._note_delivered(1, now)
             self._nacked_expected = None
             if self.config.generate_acks:
-                responses.append(
-                    self._control(PacketType.ACK, packet, cumulative_ack=self.expected_psn)
-                )
+                self._queue_ack(packet, self.expected_psn, responses, now)
             return responses
 
-        # Out-of-order arrival.
+        # Out-of-order arrival: loss signals always fire immediately, and a
+        # NACK carries the cumulative ack, so it folds in any banked window.
         if self.accept_ooo:
             self.ooo_received.add(psn)
             self._note_delivered(1, now)
+            self._absorb_pending_ack()
             responses.append(
                 self._control(
                     PacketType.NACK,
@@ -287,6 +301,7 @@ class IrnReceiver(BaseReceiver):
             self.duplicates_received += 1
             if self._nacked_expected != self.expected_psn:
                 self._nacked_expected = self.expected_psn
+                self._absorb_pending_ack()
                 responses.append(
                     self._control(
                         PacketType.NACK,

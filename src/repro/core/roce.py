@@ -74,13 +74,23 @@ class RoceSender(BaseSender):
     # ------------------------------------------------------------------
     def _handle_ack(self, packet: Packet, now: float) -> None:
         if self.cc is not None:
-            self.cc.on_ack(now - packet.echo_time, now, packet.ecn_echo)
+            self.cc.on_ack(
+                now - packet.echo_time,
+                now,
+                packet.ecn_echo,
+                newly_acked=self._newly_acked(packet.cumulative_ack),
+            )
         self._advance_cumulative(packet.cumulative_ack, now)
 
     def _handle_nack(self, packet: Packet, now: float) -> None:
         """Go back to the responder's expected sequence number."""
         if self.cc is not None:
-            self.cc.on_ack(now - packet.echo_time, now, packet.ecn_echo)
+            self.cc.on_ack(
+                now - packet.echo_time,
+                now,
+                packet.ecn_echo,
+                newly_acked=self._newly_acked(packet.cumulative_ack),
+            )
             self.cc.on_loss(now)
         self._advance_cumulative(packet.cumulative_ack, now)
         if packet.cumulative_ack < self.num_packets:
@@ -118,6 +128,9 @@ class RoceReceiver(IrnReceiver):
                 rto_s=config.rto_s,
                 generate_acks=config.generate_acks,
                 timeouts_enabled=config.timeouts_enabled,
+                ack_coalesce_n=config.ack_coalesce_n,
+                ack_coalesce_s=config.ack_coalesce_s,
+                pacing_quantum_s=config.pacing_quantum_s,
             )
         super().__init__(
             sim,

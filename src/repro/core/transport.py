@@ -71,6 +71,24 @@ class TransportConfig:
     #: Whether the sender arms retransmission timers (disabled for the
     #: RoCE-with-PFC baseline to avoid spurious retransmissions).
     timeouts_enabled: bool = True
+    #: Receiver-side cumulative-ACK coalescing window, in packets: the
+    #: receiver banks up to N in-order ACK grants and emits one cumulative
+    #: ACK covering all of them.  1 (the default here) reproduces the
+    #: per-packet ACK stream exactly -- no deferral state is ever touched.
+    #: NACK/SACK and duplicate-arrival paths always fire immediately, so
+    #: loss recovery never waits on the window.
+    ack_coalesce_n: int = 1
+    #: Flush timeout for a partially filled coalescing window (N packets or
+    #: T seconds, whichever first).  Must stay well below RTO_low or a
+    #: delayed ACK could masquerade as a loss; the experiment wiring clamps
+    #: it to a quarter of the effective RTO_low.
+    ack_coalesce_s: float = 25e-6
+    #: Pacing wake-up quantization grid, in seconds.  0 keeps one wake-up
+    #: event per paced packet (per QP); a positive quantum rounds wake-ups
+    #: up onto the grid and shares a single timer host-wide, so a paced
+    #: sender costs one event per quantized batch.  The congestion module's
+    #: burst credit is set to the quantum so the average rate is preserved.
+    pacing_quantum_s: float = 0.0
 
 
 class BaseSender:
@@ -225,6 +243,13 @@ class BaseSender:
         return self.cc.next_send_time(now)
 
     def _ensure_pacing_wakeup(self, release: float) -> None:
+        quantum = self.config.pacing_quantum_s
+        if quantum > 0.0:
+            # Round up onto the quantum grid and share the wake-up host-wide:
+            # one timer serves every paced QP on this NIC, and the pacer's
+            # burst credit lets it catch up on the whole quantum at once.
+            self.host.request_pacing_wakeup(math.ceil(release / quantum) * quantum)
+            return
         if self._pacing_event is not None and not self._pacing_event.cancelled:
             return
         self._pacing_event = self.sim.schedule_at(release, self._pacing_fired)
@@ -232,6 +257,17 @@ class BaseSender:
     def _pacing_fired(self) -> None:
         self._pacing_event = None
         self.host.notify_ready()
+
+    def _newly_acked(self, cum: int) -> int:
+        """Packets a cumulative acknowledgement newly covers (for the
+        congestion module's ``newly_acked``).  With coalescing off this is
+        pinned to 1, keeping window dynamics byte-identical to the
+        historical one-credit-per-ACK-frame behavior; with coalescing on it
+        is the true cumulative delta, so growth does not depend on how many
+        per-packet ACKs were folded into the frame."""
+        if self.config.ack_coalesce_n <= 1:
+            return 1
+        return max(1, min(cum, self.num_packets) - self.snd_una)
 
     # ------------------------------------------------------------------
     # Windowing
@@ -260,11 +296,17 @@ class BaseSender:
             if not restart:
                 return
             self._rto_event.cancel()
+        delay = self._rto_value(now)
+        if self.config.ack_coalesce_n > 1:
+            # A coalescing receiver may legitimately sit on the ACK for up
+            # to the flush timeout; budget it into the RTO (as RFC 6298
+            # stacks do for delayed ACKs) or that wait reads as a loss.
+            delay += self.config.ack_coalesce_s
         # Retransmission timers follow the set-then-cancel pattern (almost
         # every timer is cancelled by the ACK that precedes it), so they go
         # on the engine's timer wheel where cancellation is O(1) and never
         # leaves a tombstone in the sorted event structures.
-        self._rto_event = self.sim.set_timer(self._rto_value(now), self._rto_fired)
+        self._rto_event = self.sim.set_timer(delay, self._rto_fired)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
@@ -341,12 +383,29 @@ class BaseReceiver:
         self._cnp_interval_s = cnp_interval_s
         self._last_cnp_time = -float("inf")
 
+        #: Out-of-band control emitter, wired by ``Host.register_receiver``;
+        #: lets the ACK-coalescing flush timer send a frame outside the
+        #: ``on_data`` response path.  Coalescing stays off until it is set.
+        self.send_control: Optional[Callable[[Packet], None]] = None
+        # Deferred cumulative-ACK state (the coalescing window).
+        self._ack_pending = 0
+        self._ack_cum = 0
+        self._ack_psn = 0
+        self._ack_echo_time = 0.0
+        self._ack_ecn = False
+        self._ack_timer = None
+        self._ack_last_data_time = -float("inf")
+
         # Statistics
         self.data_received = 0
         self.duplicates_received = 0
         self.acks_sent = 0
         self.nacks_sent = 0
         self.cnps_sent = 0
+        #: Per-packet ACK grants absorbed into a later cumulative frame.
+        self.acks_coalesced = 0
+        #: Coalescing windows flushed by the timeout rather than the count.
+        self.ack_flush_timeouts = 0
 
     # ------------------------------------------------------------------
     def on_data(self, packet: Packet, now: float) -> List[Packet]:
@@ -374,6 +433,91 @@ class BaseReceiver:
         elif ptype is PacketType.NACK:
             self.nacks_sent += 1
         return packet
+
+    # ------------------------------------------------------------------
+    # Cumulative-ACK coalescing
+    # ------------------------------------------------------------------
+    def _queue_ack(
+        self, data_packet: Packet, cum: int, responses: List[Packet], now: float
+    ) -> None:
+        """Emit a cumulative ACK, or bank it into the coalescing window.
+
+        The window flushes on whichever comes first: the N-th banked grant,
+        the flush timer, or flow completion (so the last ACK of a message is
+        never delayed).  At ``ack_coalesce_n <= 1`` -- or before the host has
+        wired :attr:`send_control` -- this is exactly the historical
+        one-ACK-per-packet path.
+        """
+        config = self.config
+        gap, self._ack_last_data_time = now - self._ack_last_data_time, now
+        if config.ack_coalesce_n <= 1 or self.send_control is None:
+            responses.append(self._control(PacketType.ACK, data_packet, cumulative_ack=cum))
+            return
+        if data_packet.retransmitted:
+            # Recovery traffic: the sender is waiting on this cumulative
+            # advance to exit recovery -- holding it in the window would
+            # stretch every loss episode by up to the flush timeout.
+            self._absorb_pending_ack()
+            responses.append(self._control(PacketType.ACK, data_packet, cumulative_ack=cum))
+            return
+        if self._ack_pending == 0 and gap > config.ack_coalesce_s:
+            # Adaptive moderation, as NICs do: only back-to-back streams are
+            # worth banking.  At this arrival spacing the window would be cut
+            # short by the flush timer anyway, so deferring buys no ACK
+            # deletion -- it just converts each ACK into a timer event plus a
+            # late ACK.  Send immediately and keep the slow path per-packet.
+            responses.append(self._control(PacketType.ACK, data_packet, cumulative_ack=cum))
+            return
+        self._ack_pending += 1
+        self._ack_cum = cum
+        self._ack_psn = data_packet.psn
+        self._ack_echo_time = data_packet.sent_time
+        self._ack_ecn = self._ack_ecn or data_packet.ecn
+        if self._ack_pending >= config.ack_coalesce_n or self.completed:
+            responses.append(self._flush_ack())
+        elif self._ack_timer is None:
+            self._ack_timer = self.sim.set_timer(config.ack_coalesce_s, self._ack_timer_fired)
+
+    def _flush_ack(self) -> Packet:
+        """Materialize the banked window as one cumulative ACK frame."""
+        packet = Packet(
+            ptype=PacketType.ACK,
+            flow_id=self.flow_id,
+            src=self.flow.dst,
+            dst=self.flow.src,
+            psn=self._ack_psn,
+            echo_time=self._ack_echo_time,
+            ecn_echo=self._ack_ecn,
+            cumulative_ack=self._ack_cum,
+        )
+        self.acks_sent += 1
+        self.acks_coalesced += self._ack_pending - 1
+        self._clear_pending_ack()
+        return packet
+
+    def _absorb_pending_ack(self) -> None:
+        """Fold the banked window into an immediate frame the caller is
+        about to emit (a NACK or duplicate-ACK already carries the latest
+        cumulative acknowledgement, superseding the deferred one)."""
+        if self._ack_pending:
+            self.acks_coalesced += self._ack_pending
+            self._clear_pending_ack()
+
+    def _clear_pending_ack(self) -> None:
+        self._ack_pending = 0
+        self._ack_ecn = False
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def _ack_timer_fired(self) -> None:
+        self._ack_timer = None
+        if self._ack_pending == 0:
+            return
+        self.ack_flush_timeouts += 1
+        packet = self._flush_ack()
+        if self.send_control is not None:
+            self.send_control(packet)
 
     def _maybe_cnp(self, data_packet: Packet, now: float) -> Optional[Packet]:
         """Generate a DCQCN CNP if the packet was ECN-marked (rate limited)."""

@@ -168,6 +168,24 @@ class ExperimentConfig:
     #: §6.3 worst-case implementation overheads (extra headers + PCIe fetch
     #: delay for retransmissions).
     worst_case_overheads: bool = False
+    #: Receiver-side cumulative-ACK coalescing window (packets): real
+    #: RoCE/IRN NICs aggregate in-order acknowledgements, so the default
+    #: models the hardware and deletes most per-packet ACK events.  1
+    #: restores the per-packet ACK stream exactly.  RTT-based schemes cap
+    #: the effective window through their registry metadata
+    #: (``CongestionScheme.max_ack_coalesce``).  Default-valued knob is
+    #: excluded from the fingerprint (see :meth:`to_canonical_dict`).
+    ack_coalesce_n: int = 4
+    #: Flush timeout (microseconds) for a partially filled coalescing
+    #: window; clamped to a quarter of the effective RTO_low so a delayed
+    #: ACK can never masquerade as a loss.
+    ack_coalesce_us: float = 25.0
+    #: Pacing wake-up quantization grid (microseconds).  0 (default)
+    #: disables quantization: every paced QP schedules its own per-packet
+    #: wake-up.  Positive values round wake-ups up onto the grid and share
+    #: one timer per host; the pacer accumulates burst credit over the
+    #: quantum, preserving the average rate.
+    pacing_quantum_us: float = 0.0
 
     # --- congestion control ------------------------------------------------------
     congestion_control: Union[CongestionControl, str] = CongestionControl.NONE
@@ -219,6 +237,12 @@ class ExperimentConfig:
             # A zero cap would silently stop every port from ever pulling a
             # packet; fail here, at the earliest surface.
             raise ValueError("port_batch_bytes must be >= 1 (or None to disable)")
+        if self.ack_coalesce_n < 1:
+            raise ValueError("ack_coalesce_n must be >= 1 (1 = per-packet ACKs)")
+        if self.ack_coalesce_us <= 0:
+            raise ValueError("ack_coalesce_us must be positive")
+        if self.pacing_quantum_us < 0:
+            raise ValueError("pacing_quantum_us must be >= 0 (0 disables quantization)")
 
     # ------------------------------------------------------------------
     # Component registry names
@@ -316,6 +340,31 @@ class ExperimentConfig:
         """The registered :class:`~repro.congestion.factory.CongestionScheme`."""
         return CONGESTION_SCHEMES.get(self.congestion_control)
 
+    def effective_ack_coalesce_n(self) -> int:
+        """The ACK coalescing window, after the congestion scheme's cap.
+
+        RTT-based schemes need per-packet RTT samples (Timely registers
+        ``max_ack_coalesce=1``), so the scheme metadata bounds the knob
+        rather than each call site special-casing scheme names.
+        """
+        n = self.ack_coalesce_n
+        cap = self.congestion_scheme().max_ack_coalesce
+        if cap is not None:
+            n = min(n, cap)
+        return max(1, n)
+
+    def effective_ack_coalesce_s(self) -> float:
+        """Flush timeout for a partial ACK window, clamped below half of
+        RTO_low.  The sender budgets this delay into its retransmission
+        timer (see ``BaseSender._arm_rto``), so the clamp only has to keep
+        the *total* loss-detection latency near RTO_low, not hide the flush
+        entirely beneath it."""
+        return min(self.ack_coalesce_us * 1e-6, 0.5 * self.effective_rto_low_s())
+
+    def effective_pacing_quantum_s(self) -> float:
+        """Pacing wake-up quantization grid in seconds (0 = per-packet)."""
+        return self.pacing_quantum_us * 1e-6
+
     def switch_config(self) -> SwitchConfig:
         """Build the per-switch configuration implied by this experiment.
 
@@ -412,6 +461,12 @@ class ExperimentConfig:
             del payload["fabric_digests"]
         if payload.get("ring_switches") == 3:
             del payload["ring_switches"]
+        if payload.get("ack_coalesce_n") == 4:
+            del payload["ack_coalesce_n"]
+        if payload.get("ack_coalesce_us") == 25.0:
+            del payload["ack_coalesce_us"]
+        if not payload.get("pacing_quantum_us"):
+            del payload["pacing_quantum_us"]
         return _canonical(payload)
 
     def fingerprint(self) -> str:

@@ -1,0 +1,138 @@
+"""Build and load the optional C-accelerated engine core.
+
+The compiled core replaces the engine's Python :class:`~repro.sim.engine.Event`
+with the ``CEvent`` extension type from ``_cevent.c`` -- same constructor,
+attributes and ``(time, seq)`` ordering, but with C-level allocation and
+comparison.  Event construction and comparison (every ``list.sort``,
+``heapq`` operation and ``insort``) are the engine's per-event fixed costs,
+so this is the part of the hot loop a compiled build actually accelerates;
+the rest of each event is the transport/switch callback, which stays Python
+either way.
+
+There is deliberately no build system: :func:`build` issues a single C
+compiler invocation using the interpreter's own ``sysconfig`` flags, and the
+engine falls back to the pure-Python event type whenever the extension is
+missing (``Simulator(queue="calendar_c")`` silently degrades to
+``"calendar"``).  Build it with::
+
+    python -m repro.sim.compiled --build
+
+and select it per run with ``REPRO_ENGINE=calendar_c``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shlex
+import subprocess
+import sys
+import sysconfig
+from typing import Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+SOURCE_PATH = os.path.join(_HERE, "_cevent.c")
+
+_cached_module = None
+_load_failed = False
+
+
+def extension_path() -> str:
+    """Where the built extension lives (next to this module)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return os.path.join(_HERE, "_cevent" + suffix)
+
+
+def load():
+    """Import and return the ``_cevent`` module (raises ``ImportError``)."""
+    global _cached_module, _load_failed
+    if _cached_module is None:
+        from repro.sim import _cevent  # noqa: F401 -- built on demand
+
+        _cached_module = _cevent
+        _load_failed = False
+    return _cached_module
+
+
+def available() -> bool:
+    """True when the compiled core can be imported right now.
+
+    Negative results are cached for the life of the process (an absent
+    build will not appear mid-run), so the engine's fallback check stays
+    O(1) after the first probe.
+    """
+    global _load_failed
+    if _cached_module is not None:
+        return True
+    if _load_failed:
+        return False
+    try:
+        load()
+        return True
+    except ImportError:
+        _load_failed = True
+        return False
+
+
+def build(force: bool = False, compiler: Optional[str] = None, verbose: bool = False) -> str:
+    """Compile ``_cevent.c`` into an importable extension; returns its path.
+
+    Uses the interpreter's own compiler and include directory from
+    ``sysconfig`` -- no setuptools, no temporary build tree.  A fresh build
+    is skipped when the extension is newer than the source (``force``
+    overrides).
+    """
+    out = extension_path()
+    if (
+        not force
+        and os.path.exists(out)
+        and os.path.getmtime(out) >= os.path.getmtime(SOURCE_PATH)
+    ):
+        return out
+    cc = compiler or sysconfig.get_config_var("CC") or "cc"
+    include = sysconfig.get_paths()["include"]
+    command = [
+        *shlex.split(cc),
+        "-shared",
+        "-fPIC",
+        "-O2",
+        f"-I{include}",
+        SOURCE_PATH,
+        "-o",
+        out,
+    ]
+    if verbose:
+        print(" ".join(shlex.quote(part) for part in command), file=sys.stderr)
+    subprocess.run(command, check=True)
+    # A rebuilt extension cannot be re-imported into a process that already
+    # failed the probe; reset the cache so this process can use it.
+    global _load_failed
+    _load_failed = False
+    return out
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.compiled",
+        description="Build/check the C-accelerated engine core.",
+    )
+    parser.add_argument("--build", action="store_true", help="compile the extension")
+    parser.add_argument("--force", action="store_true", help="rebuild even if fresh")
+    parser.add_argument(
+        "--check", action="store_true", help="exit 0 iff the compiled core imports"
+    )
+    args = parser.parse_args(argv)
+    if args.build:
+        path = build(force=args.force, verbose=True)
+        print(path)
+    if args.check or not args.build:
+        if available():
+            print("compiled core available")
+            return 0
+        print("compiled core NOT available (run with --build)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -104,8 +104,13 @@ class Simulator:
         a power of two), and timer-wheel slot width.
     """
 
-    #: Name of the scheduler core (``"heap"`` / ``"calendar"``).
+    #: Name of the scheduler core (``"heap"`` / ``"calendar"`` /
+    #: ``"calendar_c"``).
     queue_kind: str = "abstract"
+
+    #: Event class used at every construction site.  The compiled core
+    #: swaps in the C extension type; ordering semantics are identical.
+    _event_cls: type = Event
 
     def __new__(
         cls,
@@ -121,6 +126,10 @@ class Simulator:
                 raise ValueError(
                     f"unknown engine queue {name!r}; valid: {sorted(_QUEUE_IMPLS)}"
                 ) from None
+            if impl is _CCalendarSimulator and compiled_event_class() is None:
+                # Always-working fallback: the compiled core degrades to the
+                # pure-Python calendar when the extension has not been built.
+                impl = _CalendarSimulator
             return super().__new__(impl)
         return super().__new__(cls)
 
@@ -287,7 +296,7 @@ class _HeapSimulator(Simulator):
             raise ValueError(
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = self._event_cls(time, next(self._seq), fn, args)
         self._events_scheduled += 1
         heap = self._heap
         heapq.heappush(heap, event)
@@ -444,7 +453,7 @@ class _CalendarSimulator(Simulator):
             raise ValueError(
                 f"cannot schedule an event in the past (time={time}, now={self.now})"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = self._event_cls(time, next(self._seq), fn, args)
         self._events_scheduled += 1
         # Inlined _insert: this is the hottest schedule path.
         idx = int(time * self._inv_width)
@@ -472,11 +481,11 @@ class _CalendarSimulator(Simulator):
         slot = int(time * self._inv_wheel)
         if slot <= self._wheel_flushed_thru:
             # The slot's flush horizon already passed: behave like schedule.
-            event = Event(time, next(self._seq), fn, args)
+            event = self._event_cls(time, next(self._seq), fn, args)
             self._events_scheduled += 1
             self._insert(event)
             return event
-        event = Event(time, next(self._seq), fn, args)
+        event = self._event_cls(time, next(self._seq), fn, args)
         self._events_scheduled += 1
         bucket = self._wheel.get(slot)
         if bucket is None:
@@ -772,7 +781,45 @@ class _CalendarSimulator(Simulator):
                 self.now = until
 
 
+def compiled_event_class() -> Optional[type]:
+    """The C ``CEvent`` type, or ``None`` when the extension is not built.
+
+    Import is delegated to :mod:`repro.sim.compiled`, which caches the
+    probe; this stays cheap enough to call from ``Simulator.__new__``.
+    """
+    from repro.sim import compiled
+
+    if not compiled.available():
+        return None
+    return compiled.load().CEvent
+
+
+class _CCalendarSimulator(_CalendarSimulator):
+    """Calendar core running on the compiled ``CEvent`` type
+    (``queue="calendar_c"``).
+
+    Identical structure and event order to :class:`_CalendarSimulator`; only
+    the per-event fixed costs (allocation, ``(time, seq)`` comparison in
+    sorts/heaps) move to C.  Requires ``python -m repro.sim.compiled
+    --build``; :class:`Simulator` falls back to the pure-Python calendar when
+    the extension is absent, so ``calendar_c`` is always safe to request.
+    """
+
+    queue_kind = "calendar_c"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        event_cls = compiled_event_class()
+        if event_cls is None:  # pragma: no cover - guarded by __new__
+            raise RuntimeError(
+                "compiled engine core requested but repro.sim._cevent is not "
+                "built; run `python -m repro.sim.compiled --build`"
+            )
+        self._event_cls = event_cls
+
+
 _QUEUE_IMPLS: dict[str, type] = {
     "heap": _HeapSimulator,
     "calendar": _CalendarSimulator,
+    "calendar_c": _CCalendarSimulator,
 }

@@ -61,6 +61,8 @@ class Host:
         self._active_order: List[int] = []       # round-robin order of sender flow ids
         self._rr_index = 0
         self._control_queue: Deque[Packet] = deque()
+        #: Shared quantized pacing wake-up (at most one pending per host).
+        self._pacing_wakeup = None
 
         # Statistics
         self.data_packets_sent = 0
@@ -90,8 +92,15 @@ class Host:
         self.notify_ready()
 
     def register_receiver(self, receiver: ReceiverQP) -> None:
-        """Register the receive side of a flow terminating at this host."""
+        """Register the receive side of a flow terminating at this host.
+
+        Receivers that coalesce acknowledgements expose a ``send_control``
+        slot; wiring it to :meth:`enqueue_control` lets their flush timer
+        emit a frame outside the ``on_data`` response path.
+        """
         self._receivers[receiver.flow_id] = receiver
+        if hasattr(receiver, "send_control"):
+            receiver.send_control = self.enqueue_control
 
     def deregister_sender(self, flow_id: int) -> None:
         """Remove a completed flow from the transmit scheduler."""
@@ -118,6 +127,26 @@ class Host:
     def enqueue_control(self, packet: Packet) -> None:
         """Queue an ACK/NACK/CNP for transmission ahead of data packets."""
         self._control_queue.append(packet)
+        self.notify_ready()
+
+    def request_pacing_wakeup(self, when: float) -> None:
+        """Ask for one NIC kick at (or before) ``when``.
+
+        All paced QPs on this host share a single pending wake-up: a request
+        at or after the pending one is absorbed; an earlier request replaces
+        it (the replaced timer is cancelled, which is O(1) on the wheel).
+        This is what makes a saturated paced host cost one event per pacing
+        quantum instead of one per QP per packet.
+        """
+        event = self._pacing_wakeup
+        if event is not None and not event.cancelled:
+            if event.time <= when:
+                return
+            event.cancel()
+        self._pacing_wakeup = self.sim.set_timer_at(when, self._pacing_wakeup_fired)
+
+    def _pacing_wakeup_fired(self) -> None:
+        self._pacing_wakeup = None
         self.notify_ready()
 
     def next_packet(self, port: OutputPort) -> Optional[Packet]:

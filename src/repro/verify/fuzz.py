@@ -114,6 +114,11 @@ class FuzzCase:
     host_attach: Tuple[int, ...] = ()
     max_sim_time_s: float = 0.05
     max_events: int = DEFAULT_MAX_EVENTS
+    #: Receiver ACK coalescing window (1 = per-packet ACKs).  Fuzzing this
+    #: exercises the flush-timer path against the accounting identity and
+    #: the cross-core trace pin.
+    ack_coalesce_n: int = 1
+    ack_coalesce_us: float = 25.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -226,6 +231,11 @@ class FuzzCase:
                 )
             )
 
+        # New draws go at the END so earlier seeds keep reproducing the
+        # same topology/workload/fault schedule they always did.
+        ack_coalesce_n = rng.choice((1, 2, 4, 8))
+        ack_coalesce_us = rng.choice((5.0, 25.0, 60.0))
+
         return cls(
             seed=seed,
             topology=topology,
@@ -241,6 +251,8 @@ class FuzzCase:
             faults=tuple(faults),
             mesh_links=mesh_links,
             host_attach=host_attach,
+            ack_coalesce_n=ack_coalesce_n,
+            ack_coalesce_us=ack_coalesce_us,
         )
 
     def with_faults(self, *faults: Any) -> "FuzzCase":
@@ -273,6 +285,8 @@ class FuzzCase:
             bdp_cap_packets=max(2, bdp // self.mtu_bytes),
             congestion_control="none",
             workload="none",
+            ack_coalesce_n=self.ack_coalesce_n,
+            ack_coalesce_us=self.ack_coalesce_us,
             seed=self.seed,
             max_sim_time_s=self.max_sim_time_s,
             max_events=self.max_events,
@@ -322,6 +336,8 @@ class FuzzCase:
             "num_hosts": self.num_hosts,
             "num_flows": len(self.flows),
             "faults": [type(f).__name__ for f in self.faults],
+            "ack_coalesce_n": self.ack_coalesce_n,
+            "ack_coalesce_us": self.ack_coalesce_us,
         }
 
 

@@ -1,0 +1,134 @@
+"""The optional C engine core: build plumbing, fallback, and equivalence.
+
+The fallback contract is tested unconditionally -- requesting
+``calendar_c`` must never fail, whatever the build state.  The behavioural
+tests (CEvent semantics, cross-core identity) run only when the extension
+is importable; CI builds it explicitly before running them.
+"""
+
+import pytest
+
+from repro.sim import compiled
+from repro.sim.engine import Event, Simulator
+
+needs_compiled = pytest.mark.skipif(
+    not compiled.available(), reason="compiled core not built"
+)
+
+
+class TestFallback:
+    def test_request_never_fails(self):
+        sim = Simulator(queue="calendar_c")
+        assert sim.queue_kind in ("calendar_c", "calendar")
+
+    def test_degrades_to_pure_python_when_absent(self, monkeypatch):
+        monkeypatch.setattr(compiled, "_cached_module", None)
+        monkeypatch.setattr(compiled, "_load_failed", True)
+        sim = Simulator(queue="calendar_c")
+        assert sim.queue_kind == "calendar"
+        assert sim._event_cls is Event
+
+    def test_availability_probe_is_cached(self, monkeypatch):
+        monkeypatch.setattr(compiled, "_cached_module", None)
+        monkeypatch.setattr(compiled, "_load_failed", True)
+        assert compiled.available() is False  # cached, no re-import attempt
+
+    def test_extension_path_is_package_local(self):
+        assert compiled.extension_path().startswith(
+            compiled.SOURCE_PATH.rsplit("/", 1)[0]
+        )
+
+
+@needs_compiled
+class TestCEventSemantics:
+    """CEvent must be a drop-in for the Python Event class."""
+
+    def make(self, time, seq):
+        return compiled.load().CEvent(time, seq, lambda: None)
+
+    def test_constructor_and_attributes(self):
+        fn = lambda: None
+        event = compiled.load().CEvent(1.5, 7, fn, ("a",))
+        assert event.time == 1.5
+        assert event.seq == 7
+        assert event.fn is fn
+        assert event.args == ("a",)
+        assert not event.cancelled
+
+    def test_args_default_to_empty_tuple(self):
+        assert self.make(0.0, 0).args == ()
+
+    def test_cancel_marks_the_event(self):
+        event = self.make(0.0, 0)
+        event.cancel()
+        assert event.cancelled
+
+    def test_time_seq_ordering(self):
+        assert self.make(1.0, 5) < self.make(2.0, 0)
+        assert self.make(1.0, 1) < self.make(1.0, 2)  # FIFO tie-break
+        assert not self.make(1.0, 2) < self.make(1.0, 2)
+        assert self.make(3.0, 0) > self.make(1.0, 9)
+
+    def test_sorts_like_the_python_event(self):
+        keys = [(2.0, 1), (1.0, 3), (1.0, 1), (0.5, 9), (2.0, 0)]
+        fn = lambda: None
+        c_sorted = sorted(compiled.load().CEvent(t, s, fn) for t, s in keys)
+        py_sorted = sorted(Event(t, s, fn) for t, s in keys)
+        assert [(e.time, e.seq) for e in c_sorted] == [
+            (e.time, e.seq) for e in py_sorted
+        ]
+
+
+@needs_compiled
+class TestCompiledCoreEquivalence:
+    def test_selected_when_available(self):
+        sim = Simulator(queue="calendar_c")
+        assert sim.queue_kind == "calendar_c"
+        assert sim._event_cls is compiled.load().CEvent
+
+    def test_event_stream_matches_pure_python(self):
+        def drive(queue):
+            sim = Simulator(seed=3, queue=queue, bucket_width_s=0.7e-6)
+            order = []
+            for i in range(200):
+                sim.schedule(i * 0.31e-6, order.append, i)
+                dead = sim.set_timer(500e-6, order.append, -i)
+                if i % 3:
+                    sim.cancel(dead)
+            sim.run_until_idle()
+            return order, sim.events_processed, sim.events_cancelled
+
+        assert drive("calendar") == drive("calendar_c")
+
+    def test_experiment_row_matches_pure_python(self, monkeypatch):
+        from repro.experiments.runner import run_experiment
+        from repro.experiments.spec import scenario
+
+        config = scenario("fig1").configs(num_flows=30, seed=2)["IRN (without PFC)"]
+        rows = {}
+        for queue in ("calendar", "calendar_c"):
+            monkeypatch.setenv("REPRO_ENGINE", queue)
+            rows[queue] = run_experiment(config).to_row(label="x").to_dict()
+        assert rows["calendar"] == rows["calendar_c"]
+
+    def test_accounting_identity_holds(self):
+        sim = Simulator(queue="calendar_c")
+        for i in range(50):
+            timer = sim.set_timer(1e-6 * (i + 1), lambda: None)
+            if i % 2:
+                sim.cancel(timer)
+        sim.run_until_idle()
+        assert (
+            sim.events_scheduled
+            == sim.events_processed + sim.events_cancelled + sim.pending_events
+        )
+
+
+class TestBuilder:
+    def test_build_is_idempotent_when_fresh(self, monkeypatch):
+        if not compiled.available():
+            pytest.skip("compiled core not built")
+        calls = []
+        monkeypatch.setattr(compiled.subprocess, "run", lambda *a, **k: calls.append(a))
+        compiled.build()  # .so newer than source: no compiler invocation
+        assert calls == []

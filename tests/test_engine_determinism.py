@@ -16,7 +16,16 @@ import pytest
 
 from repro.experiments.runner import run_experiment
 from repro.experiments.spec import scenario
+from repro.sim import compiled
 from repro.sim.engine import Simulator, _CalendarSimulator, _HeapSimulator
+
+
+def _all_cores():
+    """Every selectable core: the compiled calendar only when built."""
+    cores = ["heap", "calendar"]
+    if compiled.available():
+        cores.append("calendar_c")
+    return cores
 
 
 def _row_for(config, queue, monkeypatch):
@@ -30,7 +39,8 @@ def _scaled_cells(name, **overrides):
 
 
 class TestEngineSelection:
-    def test_default_is_calendar(self):
+    def test_default_is_calendar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         assert isinstance(Simulator(), _CalendarSimulator)
         assert Simulator().queue_kind == "calendar"
 
@@ -51,6 +61,17 @@ class TestEngineSelection:
     def test_unknown_queue_rejected(self):
         with pytest.raises(ValueError, match="unknown engine queue"):
             Simulator(queue="wheelbarrow")
+
+    def test_compiled_core_request_always_safe(self):
+        """``calendar_c`` resolves to the compiled core when built, and
+        silently degrades to the pure-Python calendar when it is not --
+        either way the request must never fail."""
+        sim = Simulator(queue="calendar_c")
+        if compiled.available():
+            assert sim.queue_kind == "calendar_c"
+            assert sim._event_cls is compiled.load().CEvent
+        else:
+            assert sim.queue_kind == "calendar"
 
 
 class TestUnitEventOrderIdentity:
@@ -80,11 +101,12 @@ class TestUnitEventOrderIdentity:
 
     def test_heap_and_calendar_agree(self):
         heap_order, heap_n, heap_c = self._drive("heap")
-        cal_order, cal_n, cal_c = self._drive("calendar")
-        assert heap_order == cal_order
-        assert heap_n == cal_n
-        # Both cores eventually discard every cancelled timer.
-        assert heap_c == cal_c
+        for queue in _all_cores()[1:]:
+            order, n, c = self._drive(queue)
+            assert order == heap_order, f"{queue} reordered the stream"
+            assert n == heap_n
+            # Every core eventually discards every cancelled timer.
+            assert c == heap_c
 
 
 class TestExperimentIdentity:
@@ -102,3 +124,24 @@ class TestExperimentIdentity:
         heap_row = _row_for(config, "heap", monkeypatch)
         calendar_row = _row_for(config, "calendar", monkeypatch)
         assert heap_row == calendar_row, f"{label} diverged between cores"
+
+
+class TestCoalescingMatrix:
+    """ResultRows pin across every core x ACK-coalescing setting.
+
+    Coalescing changes the simulated event stream (that is its purpose), so
+    rows are pinned per setting: for each ``ack_coalesce_n`` every core must
+    produce the identical row.  This is the acceptance matrix for the
+    transport-batching work -- a cached row stays valid no matter which core
+    computed it, with coalescing on or off.
+    """
+
+    @pytest.mark.parametrize("ack_n", [1, 4])
+    def test_fig1_irn_cell_identical_across_cores(self, monkeypatch, ack_n):
+        config = _scaled_cells("fig1", num_flows=40, seed=1)[
+            "IRN (without PFC)"
+        ].with_overrides(ack_coalesce_n=ack_n)
+        rows = {queue: _row_for(config, queue, monkeypatch) for queue in _all_cores()}
+        reference = rows.pop("heap")
+        for queue, row in rows.items():
+            assert row == reference, f"{queue} diverged at ack_coalesce_n={ack_n}"

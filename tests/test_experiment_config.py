@@ -73,6 +73,41 @@ class TestDerivedQuantities:
         assert config.target_load == 0.7
 
 
+class TestAckCoalescingKnobs:
+    def test_defaults_are_excluded_from_the_fingerprint(self):
+        """Adding the knobs must not invalidate every cached ResultRow."""
+        payload = ExperimentConfig().to_canonical_dict()
+        assert "ack_coalesce_n" not in payload
+        assert "ack_coalesce_us" not in payload
+        assert "pacing_quantum_us" not in payload
+
+    def test_non_default_values_fingerprint(self):
+        base = ExperimentConfig().fingerprint()
+        assert ExperimentConfig(ack_coalesce_n=1).fingerprint() != base
+        assert ExperimentConfig(ack_coalesce_us=60.0).fingerprint() != base
+        assert ExperimentConfig(pacing_quantum_us=3.2).fingerprint() != base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(ack_coalesce_n=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(ack_coalesce_us=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(pacing_quantum_us=-1.0)
+
+    def test_effective_window_respects_scheme_cap(self):
+        # Timely needs per-packet RTT samples: the scheme metadata caps the
+        # coalescing window at 1 whatever the config asks for.
+        timely = ExperimentConfig(congestion_control=CongestionControl.TIMELY)
+        assert timely.effective_ack_coalesce_n() == 1
+        dcqcn = ExperimentConfig(congestion_control=CongestionControl.DCQCN)
+        assert dcqcn.effective_ack_coalesce_n() == 4
+
+    def test_flush_timeout_clamped_below_rto(self):
+        config = ExperimentConfig(ack_coalesce_us=10_000.0)
+        assert config.effective_ack_coalesce_s() <= 0.5 * config.effective_rto_low_s()
+
+
 class TestScenarioPresets:
     def test_fig1_pairs_roce_pfc_with_irn_lossy(self):
         configs = scenarios.fig1_configs()
