@@ -268,9 +268,14 @@ class IrnReceiver(BaseReceiver):
             # since it carries the latest cumulative acknowledgement).
             self.duplicates_received += 1
             if self.config.generate_acks:
-                self._absorb_pending_ack()
+                banked_ecn = self._absorb_pending_ack()
                 responses.append(
-                    self._control(PacketType.ACK, packet, cumulative_ack=self.expected_psn)
+                    self._control(
+                        PacketType.ACK,
+                        packet,
+                        cumulative_ack=self.expected_psn,
+                        ecn_echo=packet.ecn or banked_ecn,
+                    )
                 )
             return responses
 
@@ -287,13 +292,14 @@ class IrnReceiver(BaseReceiver):
         if self.accept_ooo:
             self.ooo_received.add(psn)
             self._note_delivered(1, now)
-            self._absorb_pending_ack()
+            banked_ecn = self._absorb_pending_ack()
             responses.append(
                 self._control(
                     PacketType.NACK,
                     packet,
                     cumulative_ack=self.expected_psn,
                     sack_psn=psn,
+                    ecn_echo=packet.ecn or banked_ecn,
                 )
             )
         else:
@@ -301,13 +307,14 @@ class IrnReceiver(BaseReceiver):
             self.duplicates_received += 1
             if self._nacked_expected != self.expected_psn:
                 self._nacked_expected = self.expected_psn
-                self._absorb_pending_ack()
+                banked_ecn = self._absorb_pending_ack()
                 responses.append(
                     self._control(
                         PacketType.NACK,
                         packet,
                         cumulative_ack=self.expected_psn,
                         sack_psn=None,
+                        ecn_echo=packet.ecn or banked_ecn,
                     )
                 )
         return responses

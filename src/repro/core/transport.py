@@ -81,7 +81,8 @@ class TransportConfig:
     #: Flush timeout for a partially filled coalescing window (N packets or
     #: T seconds, whichever first).  Must stay well below RTO_low or a
     #: delayed ACK could masquerade as a loss; the experiment wiring clamps
-    #: it to a quarter of the effective RTO_low.
+    #: it to half of the effective RTO_low (the sender budgets the flush
+    #: delay into its retransmission timer, see ``BaseSender._arm_rto``).
     ack_coalesce_s: float = 25e-6
     #: Pacing wake-up quantization grid, in seconds.  0 keeps one wake-up
     #: event per paced packet (per QP); a positive quantum rounds wake-ups
@@ -457,8 +458,15 @@ class BaseReceiver:
             # Recovery traffic: the sender is waiting on this cumulative
             # advance to exit recovery -- holding it in the window would
             # stretch every loss episode by up to the flush timeout.
-            self._absorb_pending_ack()
-            responses.append(self._control(PacketType.ACK, data_packet, cumulative_ack=cum))
+            banked_ecn = self._absorb_pending_ack()
+            responses.append(
+                self._control(
+                    PacketType.ACK,
+                    data_packet,
+                    cumulative_ack=cum,
+                    ecn_echo=data_packet.ecn or banked_ecn,
+                )
+            )
             return
         if self._ack_pending == 0 and gap > config.ack_coalesce_s:
             # Adaptive moderation, as NICs do: only back-to-back streams are
@@ -495,13 +503,20 @@ class BaseReceiver:
         self._clear_pending_ack()
         return packet
 
-    def _absorb_pending_ack(self) -> None:
+    def _absorb_pending_ack(self) -> bool:
         """Fold the banked window into an immediate frame the caller is
         about to emit (a NACK or duplicate-ACK already carries the latest
-        cumulative acknowledgement, superseding the deferred one)."""
+        cumulative acknowledgement, superseding the deferred one).
+
+        Returns the banked ECN echo bit: the superseding frame must OR it
+        into its own ``ecn_echo`` or congestion marks observed on the
+        absorbed packets would be lost -- under-signaling DCTCP/DCQCN
+        exactly during loss episodes."""
+        ecn = self._ack_ecn
         if self._ack_pending:
             self.acks_coalesced += self._ack_pending
             self._clear_pending_ack()
+        return ecn
 
     def _clear_pending_ack(self) -> None:
         self._ack_pending = 0

@@ -173,12 +173,16 @@ class ExperimentConfig:
     #: models the hardware and deletes most per-packet ACK events.  1
     #: restores the per-packet ACK stream exactly.  RTT-based schemes cap
     #: the effective window through their registry metadata
-    #: (``CongestionScheme.max_ack_coalesce``).  Default-valued knob is
-    #: excluded from the fingerprint (see :meth:`to_canonical_dict`).
+    #: (``CongestionScheme.max_ack_coalesce``).  Fingerprint-relevant at
+    #: every value except 1 -- including this default, which changes ACK
+    #: timing vs the per-packet stream; only 1 (physics identical to
+    #: pre-knob runs) is dropped from the canonical dict (see
+    #: :meth:`to_canonical_dict`).
     ack_coalesce_n: int = 4
     #: Flush timeout (microseconds) for a partially filled coalescing
-    #: window; clamped to a quarter of the effective RTO_low so a delayed
-    #: ACK can never masquerade as a loss.
+    #: window; clamped to half of the effective RTO_low so the total
+    #: loss-detection latency stays near RTO_low (the sender budgets the
+    #: flush delay into its retransmission timer).
     ack_coalesce_us: float = 25.0
     #: Pacing wake-up quantization grid (microseconds).  0 (default)
     #: disables quantization: every paced QP schedules its own per-packet
@@ -461,9 +465,19 @@ class ExperimentConfig:
             del payload["fabric_digests"]
         if payload.get("ring_switches") == 3:
             del payload["ring_switches"]
-        if payload.get("ack_coalesce_n") == 4:
+        if payload.get("ack_coalesce_n") == 1:
+            # Coalescing off: the run is byte-identical to the pre-knob
+            # per-packet ACK stream, so both keys (the then-irrelevant
+            # flush timeout too) collapse onto the fingerprints of rows
+            # cached before the knobs existed.  Any other window changes
+            # ACK timing and must key its own cache entries -- *including*
+            # the default of 4, which is behavior-changing and so cannot
+            # share fingerprints with per-packet rows.  The raw knob is
+            # used rather than ``effective_ack_coalesce_n`` so the
+            # fingerprint never depends on which schemes happen to be
+            # registered in this process (a scheme cap, e.g. Timely's,
+            # just costs one conservative cache miss).
             del payload["ack_coalesce_n"]
-        if payload.get("ack_coalesce_us") == 25.0:
             del payload["ack_coalesce_us"]
         if not payload.get("pacing_quantum_us"):
             del payload["pacing_quantum_us"]

@@ -101,6 +101,11 @@ def build(force: bool = False, compiler: Optional[str] = None, verbose: bool = F
         "-o",
         out,
     ]
+    if sys.platform == "darwin":
+        # macOS extension modules leave CPython symbols unresolved until
+        # dlopen time (there is no libpython to link against in most
+        # installs); without this the link step fails on every _Py* symbol.
+        command += ["-undefined", "dynamic_lookup"]
     if verbose:
         print(" ".join(shlex.quote(part) for part in command), file=sys.stderr)
     subprocess.run(command, check=True)

@@ -137,6 +137,33 @@ class TestLossSignalsFireImmediately:
         sim.run_until_idle()
         assert sent == []
 
+    def test_absorbing_nack_carries_banked_ecn(self):
+        # Packet 1 was ECN-marked and banked; the NACK that supersedes the
+        # window must echo that mark or DCTCP/DCQCN would be under-signaled
+        # exactly during the loss episode.
+        sim, flow, receiver, _ = make_receiver(ack_coalesce_n=8)
+        receiver.on_data(data(flow, 0), 0.0)  # post-idle immediate ACK
+        receiver.on_data(data(flow, 1, ecn=True), 1e-7)  # banked, marked
+        responses = receiver.on_data(data(flow, 5), 2e-7)  # unmarked OOO
+        assert responses[0].ptype is PacketType.NACK
+        assert responses[0].ecn_echo is True
+
+    def test_absorbing_duplicate_ack_carries_banked_ecn(self):
+        sim, flow, receiver, _ = make_receiver(ack_coalesce_n=8)
+        receiver.on_data(data(flow, 0), 0.0)
+        receiver.on_data(data(flow, 1, ecn=True), 1e-7)
+        responses = receiver.on_data(data(flow, 0), 2e-7)  # unmarked dup
+        assert responses[0].ptype is PacketType.ACK
+        assert responses[0].ecn_echo is True
+
+    def test_retransmit_flush_through_carries_banked_ecn(self):
+        sim, flow, receiver, _ = make_receiver(ack_coalesce_n=8)
+        receiver.on_data(data(flow, 0), 0.0)
+        receiver.on_data(data(flow, 1, ecn=True), 1e-7)
+        responses = receiver.on_data(data(flow, 2, retransmitted=True), 2e-7)
+        assert responses[0].ptype is PacketType.ACK
+        assert responses[0].ecn_echo is True
+
 
 class TestAdaptiveModeration:
     def test_slow_streams_keep_per_packet_acks(self):

@@ -74,16 +74,41 @@ class TestDerivedQuantities:
 
 
 class TestAckCoalescingKnobs:
-    def test_defaults_are_excluded_from_the_fingerprint(self):
-        """Adding the knobs must not invalidate every cached ResultRow."""
+    def test_behavior_changing_default_is_fingerprinted(self):
+        """The default window of 4 changes ACK timing vs the per-packet
+        stream, so it must key its own cache entries -- a pre-coalescing
+        cached row served for a default run would be stale."""
         payload = ExperimentConfig().to_canonical_dict()
+        assert payload["ack_coalesce_n"] == 4
+        assert payload["ack_coalesce_us"] == 25.0
+        assert "pacing_quantum_us" not in payload
+
+    def test_per_packet_configs_collapse_onto_pre_knob_fingerprints(self):
+        """n=1 is byte-identical to pre-knob physics: both keys (the then
+        irrelevant flush timeout too) drop out of the canonical dict, so
+        these configs still hit rows cached before the knobs existed."""
+        payload = ExperimentConfig(ack_coalesce_n=1).to_canonical_dict()
         assert "ack_coalesce_n" not in payload
         assert "ack_coalesce_us" not in payload
-        assert "pacing_quantum_us" not in payload
+        # The flush timeout is inert without a window; it must not split
+        # fingerprints of physically identical per-packet runs.
+        same = ExperimentConfig(ack_coalesce_n=1, ack_coalesce_us=60.0)
+        assert same.fingerprint() == ExperimentConfig(ack_coalesce_n=1).fingerprint()
+
+    def test_fingerprint_uses_raw_knob_not_scheme_capped_value(self):
+        # Timely's metadata caps the *effective* window at 1, but the
+        # fingerprint keys on the raw knob: it must not depend on which
+        # schemes are registered in the fingerprinting process (a
+        # coordinator can fingerprint configs for plugin schemes it never
+        # loads).  The cap just costs one conservative cache miss.
+        timely = ExperimentConfig(congestion_control=CongestionControl.TIMELY)
+        assert timely.effective_ack_coalesce_n() == 1
+        assert timely.to_canonical_dict()["ack_coalesce_n"] == 4
 
     def test_non_default_values_fingerprint(self):
         base = ExperimentConfig().fingerprint()
         assert ExperimentConfig(ack_coalesce_n=1).fingerprint() != base
+        assert ExperimentConfig(ack_coalesce_n=8).fingerprint() != base
         assert ExperimentConfig(ack_coalesce_us=60.0).fingerprint() != base
         assert ExperimentConfig(pacing_quantum_us=3.2).fingerprint() != base
 
