@@ -22,6 +22,12 @@ Subcommands
 ``list``
     Show every registered scenario with its description and shape.
 
+``serve <cache-dir>``
+    Long-lived HTTP results service over a warm sweep cache: scenario
+    catalog, pooled per-cell aggregates, tail CDFs, raw rows and (with
+    ``--queue-dir``) live ``/follow`` streams over a draining work queue --
+    zero simulation on the read path.  See :mod:`repro.serve.server`.
+
 Examples::
 
     python -m repro run fig1
@@ -30,6 +36,7 @@ Examples::
     python -m repro run fig1 --backend queue --queue-dir /shared/q --follow
     python -m repro worker /shared/q                 # on as many machines as you like
     python -m repro list
+    python -m repro serve .sweep-cache/fig8 --port 8123
 
 (``--set`` applies to *every* cell; setting a field a scenario sweeps as its
 row axis would collapse the sweep, so the CLI warns when that happens.)
@@ -47,7 +54,6 @@ from repro.api import (
     format_incast_table,
     format_metric_table,
     format_tail_cdf,
-    list_scenarios,
     load_scenario,
 )
 from repro.experiments.spec import ScenarioSpec
@@ -197,17 +203,18 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
-    names = list_scenarios()
-    width = max(len(name) for name in names)
-    for name in names:
-        spec = load_scenario(name)
-        shape = f"{len(spec.variants)} variants"
-        if spec.rows:
-            shape += f" x {len(spec.rows)} rows"
-        if spec.seeds:
-            shape += f", seeds {list(spec.seeds)}"
-        print(f"{name:<{width}}  {shape:<28}  {spec.description}")
+    # The same entries (and formatter) back GET /scenarios on the results
+    # service, so the CLI and HTTP catalogs cannot drift.
+    from repro.serve.catalog import catalog_entries, format_catalog
+
+    print(format_catalog(catalog_entries()))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_from_args
+
+    return run_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,12 +275,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit after executing N cells")
     worker.add_argument("--lease-timeout", type=float, default=600.0,
                         metavar="SECONDS",
-                        help="age after which another participant may "
-                             "reclaim this worker's leases (default: 600)")
+                        help="reclaim another worker's lease only after its "
+                             "heartbeat file (touched every --poll seconds "
+                             "while the cell simulates) has been silent this "
+                             "long -- a live worker is never preempted, "
+                             "however slow its cell (default: 600)")
     worker.set_defaults(func=_cmd_worker)
 
     lst = sub.add_parser("list", help="list registered scenarios")
     lst.set_defaults(func=_cmd_list)
+
+    from repro.serve.server import add_serve_arguments
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve warm sweep-cache results over HTTP",
+        description="Long-lived stdlib-http.server results service over a "
+        "warm sweep cache: GET /scenarios (catalog), "
+        "/scenarios/<name>/aggregate, /scenarios/<name>/cdf, "
+        "/cells/<fingerprint>, and -- with --queue-dir -- live "
+        "/scenarios/<name>/follow streams over a draining work queue.  "
+        "Append ?format=text for the offline CLIs' byte-identical text "
+        "renderings.  The read path never simulates.",
+    )
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

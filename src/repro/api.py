@@ -71,6 +71,7 @@ from repro.metrics.report import (
     format_metric_table,
     format_tail_cdf,
 )
+from repro.serve import ResultsService, catalog_entries, format_catalog, make_server
 from repro.topology import TOPOLOGIES, register_topology
 from repro.workload import WORKLOADS, register_workload
 
@@ -112,11 +113,15 @@ __all__ = [
     "register_topology",
     "register_transport",
     "register_workload",
-    # reporting
+    # reporting & serving
+    "ResultsService",
+    "catalog_entries",
     "format_aggregate_table",
+    "format_catalog",
     "format_incast_table",
     "format_metric_table",
     "format_tail_cdf",
+    "make_server",
 ]
 
 

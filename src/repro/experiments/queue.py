@@ -21,8 +21,12 @@ write-temp-then-rename, so concurrent workers never observe half states)::
   on another machine rebuilds the exact fingerprinted config.
 * A worker *claims* a task by renaming it into ``leases/`` -- exactly one
   concurrent claimer can win the rename -- then stamps the lease with its
-  identity.  Leases older than ``lease_timeout_s`` are presumed orphaned by
-  a crashed worker and renamed back into ``tasks/``.
+  identity.  While executing, the worker *touches* a heartbeat file
+  (``leases/<fp>.hb``) on its poll cadence; a lease is presumed orphaned
+  (and renamed back into ``tasks/``) only when **both** the lease and its
+  heartbeat have gone untouched for ``lease_timeout_s`` -- so a slow cell
+  on a live worker is never stolen, while a dead worker's lease is
+  reclaimed one timeout after its last beat.
 * A finished cell becomes a *part-file*: the flat
   :class:`~repro.experiments.results.ResultRow` wrapped in the same
   ``{schema, code, row}`` envelope as sweep-cache entries, so parts are
@@ -32,6 +36,12 @@ write-temp-then-rename, so concurrent workers never observe half states)::
   re-simulating.
 * A cell that raises becomes a *failure marker* (``failed/<fp>.json``); the
   coordinating sweep surfaces it as an error instead of waiting forever.
+
+* Completions are additionally recorded in an append-only, fsync'd
+  ``parts/MANIFEST`` (one fingerprint per line), so pollers -- the
+  coordinator below, and the ``repro serve`` follow stream -- discover new
+  parts by tailing one file instead of rescanning a 10k-entry directory on
+  every poll (:class:`PartsTail`).
 
 The coordinator (:class:`QueueBackend`) streams parts as they land into the
 sweep's progress/partial-aggregation layer and resumes from whatever parts a
@@ -45,7 +55,9 @@ import os
 import socket
 import subprocess
 import sys
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -68,6 +80,7 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "PartsTail",
     "QueueBackend",
     "Task",
     "TaskQueue",
@@ -137,6 +150,10 @@ class TaskQueue:
         self.leases_dir = self.directory / "leases"
         self.parts_dir = self.directory / "parts"
         self.failed_dir = self.directory / "failed"
+        #: Append-only completion log: one fingerprint per line, fsync'd by
+        #: :meth:`complete`, so pollers tail this file instead of rescanning
+        #: the parts directory (see :class:`PartsTail`).
+        self.manifest_path = self.parts_dir / "MANIFEST"
         for sub in (self.tasks_dir, self.leases_dir, self.parts_dir, self.failed_dir):
             sub.mkdir(parents=True, exist_ok=True)
 
@@ -154,6 +171,10 @@ class TaskQueue:
 
     def failed_path(self, fingerprint: str) -> Path:
         return self.failed_dir / f"{fingerprint}.json"
+
+    def heartbeat_path(self, fingerprint: str) -> Path:
+        """The lease's liveness file (``.hb`` so lease globs ignore it)."""
+        return self.leases_dir / f"{fingerprint}.hb"
 
     def default_cache(self) -> ResultCache:
         """The cache workers share by default (``<queue-dir>/cache``)."""
@@ -250,6 +271,37 @@ class TaskQueue:
             return task
         return None
 
+    def heartbeat(self, task: Union[Task, str]) -> None:
+        """Touch the lease's heartbeat file: "I am alive and still on it".
+
+        Workers call this on their poll cadence while a cell executes (see
+        :func:`run_worker`), so :meth:`reclaim_orphans` can tell a slow cell
+        on a live worker from a lease whose holder died mid-cell.
+        """
+        fingerprint = task if isinstance(task, str) else task.fingerprint
+        path = self.heartbeat_path(fingerprint)
+        try:
+            path.touch()
+            now = time.time()
+            os.utime(path, (now, now))
+        except OSError:
+            pass  # liveness signal only; never fail the cell over it
+
+    def _append_manifest(self, fingerprint: str) -> None:
+        """Append one completion line, durably (O_APPEND + fsync).
+
+        Single-line appends are atomic on POSIX, so concurrent workers
+        interleave whole lines; duplicate lines (a cell completed twice
+        after an over-eager reclaim) are fine -- readers de-duplicate.
+        """
+        try:
+            with open(self.manifest_path, "a", encoding="ascii") as handle:
+                handle.write(f"{fingerprint}\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass  # the part-file itself is durable; directory scans still find it
+
     def complete(self, task: Task, row: ResultRow) -> None:
         """Publish ``row`` as the task's durable part-file and drop the lease."""
         _write_json_atomic(
@@ -260,9 +312,11 @@ class TaskQueue:
                 "row": row.to_dict(),
             },
         )
+        self._append_manifest(task.fingerprint)
         if task.lease_path is not None:
             task.lease_path.unlink(missing_ok=True)
             task.lease_path = None
+        self.heartbeat_path(task.fingerprint).unlink(missing_ok=True)
 
     def fail(self, task: Task, error: BaseException, worker_id: str = "?") -> None:
         """Record a cell failure so coordinators stop waiting for it."""
@@ -278,6 +332,7 @@ class TaskQueue:
         if task.lease_path is not None:
             task.lease_path.unlink(missing_ok=True)
             task.lease_path = None
+        self.heartbeat_path(task.fingerprint).unlink(missing_ok=True)
 
     def release(self, task: Task) -> None:
         """Return a leased task to the pending spool (interrupted worker)."""
@@ -288,32 +343,46 @@ class TaskQueue:
         except FileNotFoundError:
             pass
         task.lease_path = None
+        self.heartbeat_path(task.fingerprint).unlink(missing_ok=True)
 
     def reclaim_orphans(self, now: Optional[float] = None) -> List[str]:
-        """Requeue every lease untouched for ``lease_timeout_s`` seconds.
+        """Requeue every lease whose worker has stopped heartbeating.
 
         A worker that died (or lost its machine) leaves its lease behind;
         renaming it back into ``tasks/`` lets surviving workers pick the
-        cell up.  Safe to call from any participant: the rename is atomic,
-        and a completed-after-reclaim duplicate execution writes a
-        byte-identical part-file (cells are deterministic), so the race is
-        wasteful at worst, never wrong.
+        cell up.  Staleness is judged on the *most recent* liveness signal
+        -- the lease file's own mtime or its heartbeat file's, whichever is
+        newer -- so a cell that runs longer than ``lease_timeout_s`` is
+        never stolen from a worker that is still beating, while a dead
+        worker's lease is reclaimed one timeout after its final beat.
+
+        Safe to call from any participant: the rename is atomic, and a
+        completed-after-reclaim duplicate execution writes a byte-identical
+        part-file (cells are deterministic), so the race is wasteful at
+        worst, never wrong.
         """
         if now is None:
             now = time.time()
         reclaimed: List[str] = []
         for lease in sorted(self.leases_dir.glob("*.json")):
+            fingerprint = lease.stem
             try:
-                age = now - lease.stat().st_mtime
+                freshest = lease.stat().st_mtime
             except FileNotFoundError:
                 continue
-            if age < self.lease_timeout_s:
+            try:
+                beat = self.heartbeat_path(fingerprint).stat().st_mtime
+            except FileNotFoundError:
+                beat = None
+            if beat is not None:
+                freshest = max(freshest, beat)
+            if now - freshest < self.lease_timeout_s:
                 continue
-            fingerprint = lease.stem
             try:
                 lease.rename(self.task_path(fingerprint))
             except FileNotFoundError:
                 continue
+            self.heartbeat_path(fingerprint).unlink(missing_ok=True)
             reclaimed.append(fingerprint)
         return reclaimed
 
@@ -363,12 +432,108 @@ class TaskQueue:
         }
 
 
+class PartsTail:
+    """Incrementally discover completed parts without rescanning the spool.
+
+    A 10k-cell sweep polled every 200ms costs a 10k-entry directory listing
+    per poll if completion is discovered by globbing ``parts/``.  This tail
+    instead reads only the *newly appended* lines of ``parts/MANIFEST`` per
+    :meth:`poll` -- O(completions since last poll), independent of sweep
+    size -- and falls back to a full directory scan when the manifest is
+    absent or short (a part written by a participant that predates the
+    manifest, or a manifest lost to a crash between the part rename and the
+    append): once on the first poll, whenever the manifest file is missing,
+    and periodically every ``rescan_every`` polls as a safety net.
+
+    Each fingerprint is reported exactly once; callers that find a reported
+    part unreadable (stale code, still-propagating network filesystem) call
+    :meth:`forget` so a later poll re-reports it.
+    """
+
+    def __init__(self, queue: TaskQueue, rescan_every: int = 50) -> None:
+        self.queue = queue
+        self.rescan_every = max(1, int(rescan_every))
+        self._offset = 0
+        self._seen: set = set()
+        self._polls_since_scan = self.rescan_every  # first poll always scans
+
+    def forget(self, fingerprint: str) -> None:
+        """Allow ``fingerprint`` to be reported again by a later poll."""
+        self._seen.discard(fingerprint)
+
+    def _read_manifest(self) -> List[str]:
+        """Whole new manifest lines since the last poll (partial trailing
+        lines -- an append caught mid-write -- are left for the next poll)."""
+        try:
+            with open(self.queue.manifest_path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        head, newline, _partial = chunk.rpartition(b"\n")
+        if not newline:
+            return []
+        self._offset += len(head) + 1
+        return [
+            line.strip().decode("ascii", "replace")
+            for line in head.split(b"\n")
+            if line.strip()
+        ]
+
+    def poll(self, force_scan: bool = False) -> List[str]:
+        """Fingerprints of parts completed since the last poll."""
+        new: List[str] = []
+        for fingerprint in self._read_manifest():
+            if fingerprint not in self._seen:
+                self._seen.add(fingerprint)
+                new.append(fingerprint)
+        self._polls_since_scan += 1
+        if (
+            force_scan
+            or self._polls_since_scan > self.rescan_every
+            or not self.queue.manifest_path.exists()
+        ):
+            for path in sorted(self.queue.parts_dir.glob("*.json")):
+                fingerprint = path.stem
+                if fingerprint not in self._seen:
+                    self._seen.add(fingerprint)
+                    new.append(fingerprint)
+            self._polls_since_scan = 0
+        return new
+
+
 # ---------------------------------------------------------------------------
 # Worker
 # ---------------------------------------------------------------------------
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+@contextmanager
+def _heartbeating(queue: TaskQueue, task: Task, interval_s: float):
+    """Touch the task's heartbeat on a cadence while the body executes.
+
+    The beat runs on a daemon thread so a cell that outlives
+    ``lease_timeout_s`` keeps signalling liveness; the lease is then only
+    reclaimable once the worker actually dies (thread and process die
+    together).  The first beat lands before the cell starts, so a lease is
+    never observable without a fresh heartbeat.
+    """
+    queue.heartbeat(task)
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval_s):
+            queue.heartbeat(task)
+
+    thread = threading.Thread(target=beat, name=f"hb-{task.fingerprint[:8]}", daemon=True)
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=interval_s + 1.0)
 
 
 def _execute_task(task: Task, cache: Optional[ResultCache]) -> ResultRow:
@@ -396,8 +561,13 @@ def run_worker(
     This is what ``python -m repro worker <queue-dir>`` runs.  The loop:
 
     1. claim the next task (atomic rename);
-    2. serve it from the shared cache, or simulate and write the cache back;
-    3. publish the durable part-file and drop the lease;
+    2. serve it from the shared cache, or simulate and write the cache back
+       -- touching the lease's heartbeat file every ``poll_interval_s``
+       while the cell runs, so ``--lease-timeout`` measures *silence since
+       the last heartbeat*, not cell duration: a cell may legitimately run
+       far longer than the lease timeout without being stolen;
+    3. publish the durable part-file (and its fsync'd ``parts/MANIFEST``
+       line) and drop the lease;
     4. on an idle queue, reclaim orphaned leases, then either exit (with
        ``drain=True``, once no pending tasks remain) or sleep and re-poll --
        a long-lived worker keeps serving sweeps as coordinators spool them.
@@ -428,7 +598,8 @@ def run_worker(
             time.sleep(poll_interval_s)
             continue
         try:
-            row = _execute_task(task, cache)
+            with _heartbeating(queue, task, poll_interval_s):
+                row = _execute_task(task, cache)
         except KeyboardInterrupt:
             queue.release(task)
             raise
@@ -575,15 +746,31 @@ class QueueBackend(ExecutionBackend):
             if self.wait_timeout_s is not None
             else None
         )
+        # Completion discovery tails parts/MANIFEST (O(new completions) per
+        # poll) instead of globbing the parts dir per poll, which a 10k-cell
+        # sweep cannot afford; the tail's periodic rescan still absorbs
+        # parts from manifest-less writers.
+        tail = PartsTail(queue)
+
+        def absorb(fingerprints: List[str]) -> bool:
+            progressed = False
+            for fingerprint in fingerprints:
+                if fingerprint not in outstanding:
+                    continue
+                row = queue.part_row(fingerprint)
+                if row is None:
+                    # Stale-code or still-materializing part: let a later
+                    # poll rediscover it once a worker rewrites it.
+                    tail.forget(fingerprint)
+                    continue
+                self._deliver(row, by_fp[fingerprint], on_result)
+                outstanding.discard(fingerprint)
+                progressed = True
+            return progressed
+
         try:
             while outstanding:
-                progressed = False
-                for fingerprint in sorted(outstanding):
-                    row = queue.part_row(fingerprint)
-                    if row is not None:
-                        self._deliver(row, by_fp[fingerprint], on_result)
-                        outstanding.discard(fingerprint)
-                        progressed = True
+                progressed = absorb(tail.poll())
                 if not outstanding:
                     break
 
@@ -601,7 +788,8 @@ class QueueBackend(ExecutionBackend):
                     task = queue.claim(self._worker_id)
                     if task is not None:
                         try:
-                            row = _execute_task(task, self.worker_cache)
+                            with _heartbeating(queue, task, self.poll_interval_s):
+                                row = _execute_task(task, self.worker_cache)
                         except KeyboardInterrupt:
                             queue.release(task)
                             raise
@@ -616,12 +804,8 @@ class QueueBackend(ExecutionBackend):
                     # iteration's scan but before the poll() check, so
                     # rescan before concluding they died -- otherwise a
                     # sweep could fail spuriously at its very last cell.
-                    for fingerprint in sorted(outstanding):
-                        row = queue.part_row(fingerprint)
-                        if row is not None:
-                            self._deliver(row, by_fp[fingerprint], on_result)
-                            outstanding.discard(fingerprint)
-                            progressed = True
+                    if absorb(tail.poll(force_scan=True)):
+                        progressed = True
                     if progressed or not outstanding:
                         continue
                     counts = queue.counts()

@@ -204,6 +204,20 @@ class ScenarioSpec:
     def row_labels(self) -> Tuple[str, ...]:
         return tuple(self.rows or {})
 
+    def shape(self) -> str:
+        """The one-line shape summary (``"3 variants x 4 rows, seeds [...]"``).
+
+        Shared by ``python -m repro list`` and the results service's
+        ``GET /scenarios`` catalog (via :func:`repro.serve.catalog_entries`),
+        so the two descriptions cannot drift.
+        """
+        shape = f"{len(self.variants)} variants"
+        if self.rows:
+            shape += f" x {len(self.rows)} rows"
+        if self.seeds:
+            shape += f", seeds {list(self.seeds)}"
+        return shape
+
     @property
     def effective_cell_label(self) -> str:
         if self.cell_label is not None:

@@ -58,6 +58,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     Optional,
@@ -173,6 +174,39 @@ class ParameterGrid:
         return cells
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One parsed cache (or queue-part) file, staleness visible to callers.
+
+    :meth:`ResultCache.get` conflates every failure mode into a miss because
+    the sweep layer only asks "can I skip this simulation?".  The results
+    service (:mod:`repro.serve`) needs to *distinguish* rows written by a
+    different source tree (serve an HTTP 409, not a silent 404) from rows
+    that are genuinely absent or corrupt, so :meth:`ResultCache.scan` /
+    :meth:`ResultCache.load_entry` expose this richer view.
+    """
+
+    fingerprint: str
+    path: Path
+    #: Schema version recorded in the file (``None`` when unreadable).
+    schema: Optional[int]
+    #: Code fingerprint of the source tree that wrote the row.
+    code: Optional[str]
+    #: The parsed row -- present even when ``code`` is stale, ``None`` only
+    #: when the file is corrupt or from an incompatible schema version.
+    row: Optional[ResultRow]
+
+    @property
+    def stale_code(self) -> bool:
+        """The row parsed but was produced by a different source tree."""
+        return self.row is not None and self.code != code_fingerprint()
+
+    @property
+    def fresh(self) -> bool:
+        """The row parsed and matches the running simulator's code."""
+        return self.row is not None and not self.stale_code
+
+
 class ResultCache:
     """On-disk store of :class:`ResultRow` records keyed by config fingerprint.
 
@@ -209,6 +243,69 @@ class ResultCache:
     def get(self, config: ExperimentConfig) -> Optional[ResultRow]:
         """The cached row for ``config``, or ``None`` (corrupt files = miss)."""
         return self._load(self.path_for(config.fingerprint()))
+
+    # ------------------------------------------------------------------
+    # Indexing / iteration (the read-path surface of ``repro serve``)
+    # ------------------------------------------------------------------
+    def load_entry(self, fingerprint: str) -> Optional[CacheEntry]:
+        """The parsed :class:`CacheEntry` for ``fingerprint``, or ``None``
+        when no such file exists.  Unlike :meth:`get`, a stale-code entry is
+        *returned* (with ``stale_code`` set) rather than hidden."""
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            return None
+        return self._read_entry(path)
+
+    def scan(self) -> Iterator[CacheEntry]:
+        """Every cache file as a :class:`CacheEntry`, in fingerprint order.
+
+        Stale-code and corrupt entries are included (``stale_code`` /
+        ``row is None``), so callers can count and report them instead of
+        silently skipping -- the results service turns stale entries into
+        HTTP 409s rather than pretending they do not exist.
+        """
+        for path in sorted(self.directory.glob("*.json")):
+            yield self._read_entry(path)
+
+    def signature(self) -> Tuple[Tuple[str, int, int], ...]:
+        """A cheap stat-based fingerprint of the cache contents.
+
+        Sorted ``(filename, mtime_ns, size)`` triples: any row added,
+        replaced or removed changes the signature without reading a single
+        file body.  The results service re-stats this per request to decide
+        whether its in-process warm aggregates are still valid.
+        """
+        entries = []
+        try:
+            with os.scandir(self.directory) as it:
+                for dirent in it:
+                    if dirent.name.endswith(".json"):
+                        try:
+                            stat = dirent.stat()
+                        except FileNotFoundError:
+                            continue  # deleted mid-scan
+                        entries.append((dirent.name, stat.st_mtime_ns, stat.st_size))
+        except FileNotFoundError:
+            pass
+        return tuple(sorted(entries))
+
+    def _read_entry(self, path: Path) -> CacheEntry:
+        fingerprint = path.stem
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = None
+        if not isinstance(payload, dict):
+            return CacheEntry(fingerprint, path, schema=None, code=None, row=None)
+        schema = payload.get("schema")
+        code = payload.get("code")
+        row: Optional[ResultRow] = None
+        if schema == CACHE_SCHEMA_VERSION:
+            try:
+                row = ResultRow.from_dict(payload["row"])
+            except (KeyError, TypeError, ValueError):
+                row = None
+        return CacheEntry(fingerprint, path, schema=schema, code=code, row=row)
 
     def put(self, row: ResultRow) -> None:
         """Store ``row`` under its fingerprint (atomic rename)."""

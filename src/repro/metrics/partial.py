@@ -29,7 +29,7 @@ from repro.metrics.stats import ci95_half_width, mean, percentile, stderr
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.results import ResultRow
 
-__all__ = ["PartialAggregator", "aggregate_partial"]
+__all__ = ["PartialAggregator", "aggregate_partial", "rows_in_batch_order"]
 
 #: Metrics averaged (and tail-summarized) across seed replicas per cell.
 MEAN_P99_METRICS = ("avg_slowdown", "avg_fct_s", "tail_fct_s")
@@ -188,6 +188,33 @@ class PartialAggregator:
     def snapshot(self) -> List[Dict[str, Any]]:
         """Every cell's current aggregate record, in first-seen order."""
         return [cell.record(self.by) for cell in self._cells.values()]
+
+
+def rows_in_batch_order(
+    rows: Iterable["ResultRow"],
+    cell_name_order: Optional[Sequence[str]] = None,
+) -> List["ResultRow"]:
+    """Rows sorted into the canonical batch-aggregation absorption order.
+
+    Digest merges are order-independent, but the scalar statistics
+    (``mean``/``stderr`` float summation) and the snapshot's cell ordering
+    are not: a batch sweep absorbs rows cell-by-cell in scenario order with
+    seeds ascending.  Rows gathered in *arrival* order -- queue part-files
+    landing from concurrent workers, cache files in label order -- must be
+    re-sorted into that canonical order for the final aggregate to be
+    bit-identical to the serial batch result.  This is the one definition
+    the results service and its follow streams share.
+
+    ``cell_name_order`` pins the cell ordering (a scenario's cells in spec
+    order); names not listed sort after the listed ones, alphabetically.
+    Within a cell, rows order by seed then label.
+    """
+    order = {name: index for index, name in enumerate(cell_name_order or ())}
+    unknown = len(order)
+    return sorted(
+        rows,
+        key=lambda row: (order.get(row.name, unknown), row.name, row.seed, row.label),
+    )
 
 
 def aggregate_partial(

@@ -35,6 +35,8 @@ __all__ = [
     "format_incast_table",
     "format_tail_cdf",
     "load_cached_rows",
+    "render_cache_report",
+    "render_rows_report",
     "main",
 ]
 
@@ -178,14 +180,15 @@ def format_tail_cdf(
 # Reporting from a warm sweep cache (no simulation)
 # ---------------------------------------------------------------------------
 
-def load_cached_rows(directory: str) -> "Dict[str, ResultRow]":
+def load_cached_rows(directory: str, code_aware: bool = True) -> "Dict[str, ResultRow]":
     """Every valid row in a sweep cache directory, keyed by label.
 
     Rows written by a different schema version or simulator source tree are
-    skipped (they would re-run on the next sweep anyway).  Distinct configs
-    that were cached under the same scenario label (e.g. the same preset run
-    at two flow counts) are all kept, disambiguated by a config-fingerprint
-    suffix rather than silently collapsed.
+    skipped (they would re-run on the next sweep anyway); pass
+    ``code_aware=False`` to keep other-version rows (archived result dirs).
+    Distinct configs that were cached under the same scenario label (e.g. the
+    same preset run at two flow counts) are all kept, disambiguated by a
+    config-fingerprint suffix rather than silently collapsed.
     """
     from collections import Counter
     from pathlib import Path
@@ -196,12 +199,44 @@ def load_cached_rows(directory: str) -> "Dict[str, ResultRow]":
     # so a mistyped path fails visibly instead of leaving an empty dir.
     if not Path(directory).is_dir():
         return {}
-    rows = ResultCache(directory).rows()
+    rows = ResultCache(directory, code_aware=code_aware).rows()
     label_counts = Counter(row.label for row in rows)
     return {
         row.label if label_counts[row.label] == 1 else f"{row.label} [{row.fingerprint[:8]}]": row
         for row in rows
     }
+
+
+def render_rows_report(
+    rows: "Mapping[str, ResultRow]", directory: str, cdf: bool = False
+) -> str:
+    """The offline cache report body for ``rows``, as one string.
+
+    This is the single renderer behind both ``python -m repro.metrics.report``
+    and the ``?format=text`` read path of ``repro serve`` -- one code path,
+    so the two outputs are byte-identical over the same rows.  ``directory``
+    appears verbatim in the title (the CLI passes the path it was given).
+    """
+    parts = [format_metric_table(f"cached rows in {directory}", rows)]
+    if cdf:
+        for label, row in rows.items():
+            digest = row.single_packet_distribution
+            if digest is None or not digest.count:
+                continue
+            parts.append("")
+            parts.append(format_tail_cdf(
+                digest, title=f"{label}: single-packet latency tail ({digest.count} msgs)"
+            ))
+    return "\n".join(parts)
+
+
+def render_cache_report(directory: str, cdf: bool = False) -> Optional[str]:
+    """The full text report for a warm cache directory (``None`` when the
+    directory holds no usable rows)."""
+    rows = load_cached_rows(directory)
+    if not rows:
+        return None
+    return render_rows_report(rows, directory, cdf=cdf)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -222,21 +257,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    rows = load_cached_rows(args.cache_dir)
-    if not rows:
+    report = render_cache_report(args.cache_dir, cdf=args.cdf)
+    if report is None:
         print(f"no usable cached rows in {args.cache_dir} "
               "(empty, stale schema, or written by different simulator code)")
         return 1
-    print(format_metric_table(f"cached rows in {args.cache_dir}", rows))
-    if args.cdf:
-        for label, row in rows.items():
-            digest = row.single_packet_distribution
-            if digest is None or not digest.count:
-                continue
-            print()
-            print(format_tail_cdf(
-                digest, title=f"{label}: single-packet latency tail ({digest.count} msgs)"
-            ))
+    print(report)
     return 0
 
 

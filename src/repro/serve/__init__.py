@@ -1,0 +1,29 @@
+"""``repro.serve``: always-warm HTTP results service over the sweep cache.
+
+See :mod:`repro.serve.server` for the endpoint map and consistency
+contract, :mod:`repro.serve.catalog` for the shared CLI/HTTP scenario
+catalog, and :mod:`repro.serve.streams` for the live-follow SSE generator.
+"""
+
+from repro.serve.catalog import catalog_entries, format_catalog
+from repro.serve.server import (
+    DEFAULT_PORT,
+    ResultsServer,
+    ResultsService,
+    ServiceError,
+    main,
+    make_server,
+)
+from repro.serve.streams import follow_scenario
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ResultsServer",
+    "ResultsService",
+    "ServiceError",
+    "catalog_entries",
+    "follow_scenario",
+    "format_catalog",
+    "main",
+    "make_server",
+]

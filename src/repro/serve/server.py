@@ -1,0 +1,586 @@
+"""Always-warm HTTP results service over a sweep cache (``repro serve``).
+
+Every figure/table the paper grid produces becomes *a URL*: a long-lived
+:class:`~http.server.ThreadingHTTPServer` process (stdlib only, zero new
+dependencies) exposes the warm :class:`~repro.experiments.sweep.ResultCache`
+and :class:`~repro.metrics.partial.PartialAggregator` over JSON, so the
+read path is a cache lookup plus an in-process aggregate reuse -- never a
+simulation.  Start it with::
+
+    python -m repro serve .sweep-cache/fig1 [--queue-dir DIR --port N]
+
+Endpoints (all JSON; ``?format=text`` re-renders through the exact
+:mod:`repro.metrics.report` / catalog formatters the offline CLIs use, so
+the text bodies are byte-identical to their command-line counterparts):
+
+=====================================  ====================================
+``GET /``                              service index (endpoints, dirs, code)
+``GET /scenarios``                     the scenario catalog (same metadata
+                                       as ``python -m repro list``)
+``GET /scenarios/<name>/aggregate``    pooled per-cell aggregate records
+                                       (CI columns, merged-digest tails)
+``GET /scenarios/<name>/cdf``          tail-CDF points from the stored
+                                       quantile digests
+``GET /scenarios/<name>/follow``       SSE stream tailing the work queue's
+                                       parts manifest (needs ``--queue-dir``)
+``GET /cells/<fingerprint>``           one raw ``ResultRow``
+=====================================  ====================================
+
+Consistency contract
+--------------------
+
+* **Zero simulation.**  The service never imports (let alone calls)
+  :func:`~repro.experiments.runner.run_experiment`; every byte served comes
+  from cache/part files and in-process aggregation.
+* **Code-aware invalidation.**  Rows record the source-tree fingerprint
+  that produced them.  A row written by a *different* tree is never served
+  as current: ``/cells`` answers **409 Conflict**, aggregates exclude such
+  rows (reporting a ``stale_rows`` count) and answer 409 outright when
+  nothing fresh remains.  ``--any-code`` opts out (archived result dirs).
+* **Warm aggregates.**  Aggregate tables are computed once and reused
+  across requests; validity is re-checked per request against a cheap
+  stat-based cache :meth:`~repro.experiments.sweep.ResultCache.signature`
+  (plus the code fingerprint), so a row landing in the cache -- e.g. from
+  a worker machine writing through the shared directory -- invalidates the
+  warm copy immediately without the server watching anything.
+* **Bit-identical parity.**  Aggregate records equal the offline batch
+  ``spec.aggregate(spec.sweep(...))`` output bit for bit: cached rows are
+  re-sorted into the canonical batch absorption order
+  (:func:`~repro.metrics.partial.rows_in_batch_order`) before aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.experiments.queue import TaskQueue
+from repro.experiments.spec import ScenarioSpec
+from repro.experiments.sweep import ResultCache, code_fingerprint
+from repro.metrics.partial import PartialAggregator, rows_in_batch_order
+from repro.metrics.report import format_tail_cdf, load_cached_rows, render_rows_report
+from repro.registry import UnknownNameError
+from repro.serve.catalog import catalog_entries, format_catalog
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ResultsServer",
+    "ResultsService",
+    "ServiceError",
+    "add_serve_arguments",
+    "main",
+    "make_server",
+]
+
+#: Default listen port (``--port`` overrides; 0 picks an ephemeral port).
+DEFAULT_PORT = 8123
+
+
+class ServiceError(Exception):
+    """An HTTP-mappable service failure (status + JSON payload)."""
+
+    def __init__(self, status: int, message: str, **extra: Any) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload: Dict[str, Any] = {"error": message, **extra}
+
+
+class ResultsService:
+    """The HTTP-agnostic read model: catalog, aggregates, CDFs, raw cells.
+
+    All public methods are thread-safe (the handler runs one thread per
+    request); the only shared mutable state is the warm-aggregate map,
+    guarded by a lock.  Raises :class:`ServiceError` for every client-
+    visible failure so the transport layer maps it to a status uniformly.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        queue_dir: Optional[Union[str, Path]] = None,
+        code_aware: bool = True,
+    ) -> None:
+        #: Kept as the *given* string: it appears verbatim in text-report
+        #: titles, which must match the offline CLI invoked with the same
+        #: path argument byte for byte.
+        self.cache_dir = str(cache_dir)
+        self.code_aware = code_aware
+        self.cache = ResultCache(cache_dir, code_aware=code_aware)
+        self.queue = TaskQueue(queue_dir) if queue_dir is not None else None
+        #: Read-only view over the queue's part-files (they share the cache
+        #: envelope), so ``/cells`` can serve parts not yet in the cache.
+        self._parts = ResultCache(self.queue.parts_dir) if self.queue else None
+        self._lock = threading.Lock()
+        #: scenario name -> (cache signature, code fingerprint, response).
+        self._warm: Dict[str, Tuple[Any, str, Dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def index(self) -> Dict[str, Any]:
+        return {
+            "service": "repro serve",
+            "cache_dir": self.cache_dir,
+            "queue_dir": str(self.queue.directory) if self.queue else None,
+            "code": code_fingerprint(),
+            "endpoints": [
+                "/scenarios",
+                "/scenarios/<name>/aggregate",
+                "/scenarios/<name>/cdf",
+                "/scenarios/<name>/follow",
+                "/cells/<fingerprint>",
+            ],
+        }
+
+    def catalog(self) -> List[Dict[str, Any]]:
+        return catalog_entries()
+
+    def spec(self, name: str) -> ScenarioSpec:
+        from repro.experiments.spec import scenario
+
+        try:
+            return scenario(name)
+        except UnknownNameError as exc:
+            raise ServiceError(404, str(exc)) from exc
+
+    def cell_names(self, spec: ScenarioSpec) -> List[str]:
+        """The scenario's aggregation-cell names, in spec order."""
+        names: List[str] = []
+        for config in spec.configs().values():
+            if config.name not in names:
+                names.append(config.name)
+        return names
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def _scenario_rows(self, spec: ScenarioSpec, names: List[str]):
+        """``(fresh_rows, stale_count)`` for the scenario's cached rows."""
+        wanted = set(names)
+        fresh, stale = [], 0
+        for entry in self.cache.scan():
+            if entry.row is None or entry.row.name not in wanted:
+                continue
+            if self.code_aware and entry.stale_code:
+                stale += 1
+            else:
+                fresh.append(entry.row)
+        return fresh, stale
+
+    def scenario_report_rows(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """Label -> row for the scenario, built through the *report CLI's*
+        loader (same ordering, same duplicate-label disambiguation), so the
+        text rendering over these rows matches the CLI byte for byte."""
+        wanted = set(self.cell_names(spec))
+        rows = load_cached_rows(self.cache_dir, code_aware=self.code_aware)
+        return {label: row for label, row in rows.items() if row.name in wanted}
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def aggregate(self, name: str) -> Dict[str, Any]:
+        """The scenario's pooled per-cell aggregate records (warm-reused).
+
+        Bit-identical to ``spec.aggregate(spec.sweep(...))`` over the same
+        rows: fresh cached rows are absorbed in canonical batch order.
+        """
+        spec = self.spec(name)
+        signature = self.cache.signature()
+        code = code_fingerprint()
+        with self._lock:
+            warm = self._warm.get(spec.name)
+            if warm is not None and warm[0] == signature and warm[1] == code:
+                response = dict(warm[2])
+                response["warm"] = True
+                return response
+
+        names = self.cell_names(spec)
+        fresh, stale = self._scenario_rows(spec, names)
+        if not fresh:
+            if stale:
+                raise ServiceError(
+                    409,
+                    f"every cached row for scenario {name!r} was written by a "
+                    "different simulator version; re-run the sweep to refresh "
+                    "(or serve with --any-code)",
+                    stale_rows=stale,
+                    code=code,
+                )
+            raise ServiceError(
+                404,
+                f"no cached rows for scenario {name!r} in {self.cache_dir}",
+                hint=f"warm the cache with: python -m repro run {name} "
+                     f"--cache {self.cache_dir}",
+            )
+        ordered = rows_in_batch_order(fresh, names)
+        records = PartialAggregator(spec.aggregate_by).add_all(ordered).snapshot()
+        response = {
+            "scenario": spec.name,
+            "aggregate_by": list(spec.aggregate_by),
+            "replica_rows": len(ordered),
+            "stale_rows": stale,
+            "code": code,
+            "warm": False,
+            "records": records,
+        }
+        with self._lock:
+            self._warm[spec.name] = (signature, code, response)
+        return dict(response)
+
+    def aggregate_text(self, name: str, cdf: bool = False) -> str:
+        """The offline-report rendering of the scenario's cached rows.
+
+        Byte-identical to ``python -m repro.metrics.report <cache-dir>``
+        (plus ``--cdf``) whenever the cache holds exactly this scenario's
+        rows -- same loader, same renderer, same title string.
+        """
+        self.aggregate(name)  # enforce 404/409 semantics + warm the records
+        spec = self.spec(name)
+        return render_rows_report(self.scenario_report_rows(spec), self.cache_dir, cdf=cdf)
+
+    # ------------------------------------------------------------------
+    # Tail CDFs
+    # ------------------------------------------------------------------
+    def _cdf_rows(self, name: str):
+        spec = self.spec(name)
+        rows = self.scenario_report_rows(spec)
+        plottable = [
+            (label, row, row.single_packet_distribution)
+            for label, row in rows.items()
+        ]
+        plottable = [
+            (label, row, digest)
+            for label, row, digest in plottable
+            if digest is not None and digest.count
+        ]
+        if not plottable:
+            fresh, stale = self._scenario_rows(spec, self.cell_names(spec))
+            if not fresh and stale:
+                raise ServiceError(
+                    409,
+                    f"every cached row for scenario {name!r} was written by a "
+                    "different simulator version",
+                    stale_rows=stale,
+                )
+            raise ServiceError(
+                404,
+                f"no single-packet latency digests cached for scenario {name!r}",
+            )
+        return spec, plottable
+
+    def cdf(self, name: str, start_fraction: float = 0.90, points: int = 12) -> Dict[str, Any]:
+        """Tail-CDF points per cached row, from the stored quantile digests."""
+        spec, plottable = self._cdf_rows(name)
+        cells = [
+            {
+                "label": label,
+                "name": row.name,
+                "fingerprint": row.fingerprint,
+                "count": digest.count,
+                "points": [
+                    [value, fraction]
+                    for value, fraction in digest.tail_cdf(start_fraction, points)
+                ],
+            }
+            for label, row, digest in plottable
+        ]
+        return {
+            "scenario": spec.name,
+            "start_fraction": start_fraction,
+            "points": points,
+            "cells": cells,
+        }
+
+    def cdf_text(self, name: str) -> str:
+        """The CLI's ``--cdf`` plot blocks (and only those), one per row."""
+        _, plottable = self._cdf_rows(name)
+        return "\n\n".join(
+            format_tail_cdf(
+                digest,
+                title=f"{label}: single-packet latency tail ({digest.count} msgs)",
+            )
+            for label, _row, digest in plottable
+        )
+
+    # ------------------------------------------------------------------
+    # Raw cells
+    # ------------------------------------------------------------------
+    def cell(self, fingerprint: str) -> Dict[str, Any]:
+        """One raw :class:`ResultRow` by config fingerprint (409 on stale)."""
+        entry = self.cache.load_entry(fingerprint)
+        source = "cache"
+        if (entry is None or entry.row is None) and self._parts is not None:
+            part = self._parts.load_entry(fingerprint)
+            if part is not None and part.row is not None:
+                entry, source = part, "queue-part"
+        if entry is None or entry.row is None:
+            raise ServiceError(
+                404, f"no cached row for fingerprint {fingerprint!r}"
+            )
+        if self.code_aware and entry.stale_code:
+            raise ServiceError(
+                409,
+                f"row {fingerprint!r} was written by a different simulator "
+                "version and cannot be served as current",
+                fingerprint=fingerprint,
+                row_code=entry.code,
+                serving_code=code_fingerprint(),
+            )
+        return {
+            "fingerprint": fingerprint,
+            "source": source,
+            "code": entry.code,
+            "row": entry.row.to_dict(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport
+# ---------------------------------------------------------------------------
+
+class ResultsRequestHandler(BaseHTTPRequestHandler):
+    """Routes GETs onto the :class:`ResultsService` owned by the server."""
+
+    server_version = "repro-serve/1.0"
+
+    @property
+    def service(self) -> ResultsService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "quiet", False):
+            return
+        super().log_message(format, *args)
+
+    # -- responses ------------------------------------------------------
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+        self._send_body(status, body, "application/json; charset=utf-8")
+
+    def _send_text(self, status: int, text: str) -> None:
+        # Trailing newline matches the CLIs' final ``print`` byte for byte.
+        self._send_body(status, (text + "\n").encode("utf-8"), "text/plain; charset=utf-8")
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        parsed = urlsplit(self.path)
+        segments = [unquote(part) for part in parsed.path.split("/") if part]
+        params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        try:
+            self._route(segments, params)
+        except ServiceError as exc:
+            self._send_json(exc.status, exc.payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(self, segments: List[str], params: Dict[str, str]) -> None:
+        text = params.get("format") == "text"
+        if not segments:
+            self._send_json(200, self.service.index())
+        elif segments == ["scenarios"]:
+            entries = self.service.catalog()
+            if text:
+                self._send_text(200, format_catalog(entries))
+            else:
+                self._send_json(200, {"scenarios": entries, "count": len(entries)})
+        elif len(segments) == 3 and segments[0] == "scenarios":
+            self._route_scenario(segments[1], segments[2], params, text)
+        elif len(segments) == 2 and segments[0] == "cells":
+            self._send_json(200, self.service.cell(segments[1]))
+        else:
+            raise ServiceError(
+                404,
+                f"unknown path {'/' + '/'.join(segments)!r}",
+                endpoints=self.service.index()["endpoints"],
+            )
+
+    def _route_scenario(
+        self, name: str, endpoint: str, params: Dict[str, str], text: bool
+    ) -> None:
+        if endpoint == "aggregate":
+            if text:
+                self._send_text(
+                    200, self.service.aggregate_text(name, cdf=_flag(params, "cdf"))
+                )
+            else:
+                self._send_json(200, self.service.aggregate(name))
+        elif endpoint == "cdf":
+            if text:
+                self._send_text(200, self.service.cdf_text(name))
+            else:
+                self._send_json(200, self.service.cdf(
+                    name,
+                    start_fraction=_number(params, "start", 0.90),
+                    points=int(_number(params, "points", 12)),
+                ))
+        elif endpoint == "follow":
+            self._stream_follow(name, params)
+        else:
+            raise ServiceError(
+                404,
+                f"unknown scenario endpoint {endpoint!r}",
+                valid=["aggregate", "cdf", "follow"],
+            )
+
+    def _stream_follow(self, name: str, params: Dict[str, str]) -> None:
+        from repro.serve.streams import follow_scenario
+
+        if self.service.queue is None:
+            raise ServiceError(
+                409,
+                "live follow needs a work queue: start the server with "
+                "--queue-dir pointing at the sweep's queue directory",
+            )
+        spec = self.service.spec(name)
+        events = follow_scenario(
+            self.service,
+            spec,
+            poll_interval_s=_number(params, "poll", 0.2),
+            timeout_s=_number(params, "timeout", 0) or None,
+            expect=int(_number(params, "expect", 0)),
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            for event, payload in events:
+                chunk = f"event: {event}\ndata: {json.dumps(payload)}\n\n"
+                self.wfile.write(chunk.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # follower disconnected; the queue drains regardless
+
+
+def _flag(params: Dict[str, str], key: str) -> bool:
+    return params.get(key, "").lower() in {"1", "true", "yes", "on"}
+
+
+def _number(params: Dict[str, str], key: str, default: float) -> float:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ServiceError(400, f"query parameter {key}={raw!r} is not a number")
+
+
+class ResultsServer(ThreadingHTTPServer):
+    """A threading HTTP server owning one :class:`ResultsService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: ResultsService,
+        quiet: bool = False,
+    ) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, ResultsRequestHandler)
+
+
+def make_server(
+    cache_dir: Union[str, Path],
+    queue_dir: Optional[Union[str, Path]] = None,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    code_aware: bool = True,
+    quiet: bool = False,
+) -> ResultsServer:
+    """Bind (but do not start) a results server; ``port=0`` = ephemeral."""
+    service = ResultsService(cache_dir, queue_dir=queue_dir, code_aware=code_aware)
+    return ResultsServer((host, port), service, quiet=quiet)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def add_serve_arguments(parser) -> None:
+    """Shared argument definitions for ``python -m repro serve`` and
+    ``python -m repro.serve`` (one definition, two entry points)."""
+    parser.add_argument(
+        "cache_dir",
+        help="warm sweep-cache directory to serve (ResultRow JSON files)",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="work-queue directory to tail for /follow streams "
+             "(the sweep's --queue-dir)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=f"listen port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1; 0.0.0.0 serves the network)",
+    )
+    parser.add_argument(
+        "--any-code", action="store_true",
+        help="serve rows written by any simulator version "
+             "(default: stale-code rows answer 409 Conflict)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging",
+    )
+
+
+def run_from_args(args) -> int:
+    """Start serving from parsed :func:`add_serve_arguments` arguments."""
+    server = make_server(
+        args.cache_dir,
+        queue_dir=args.queue_dir,
+        host=args.host,
+        port=args.port,
+        code_aware=not args.any_code,
+        quiet=args.quiet,
+    )
+    host, port = server.server_address[:2]
+    queue_note = f" queue={args.queue_dir}" if args.queue_dir else ""
+    print(
+        f"repro serve: cache={args.cache_dir}{queue_note} "
+        f"listening on http://{host}:{port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve warm sweep-cache results over HTTP: scenario "
+        "catalog, pooled aggregates, tail CDFs, raw cells and live "
+        "follow streams -- with zero simulation on the read path.",
+    )
+    add_serve_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

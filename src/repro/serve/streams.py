@@ -1,0 +1,118 @@
+"""Live-follow streams: watch a queue-backed sweep converge, over HTTP.
+
+``GET /scenarios/<name>/follow`` tails the work queue's parts directory
+(through the manifest-backed :class:`~repro.experiments.queue.PartsTail`, so
+each poll costs O(new completions), not O(all parts)) and emits one SSE
+event per completed task: the row's identity plus its cell's *current*
+pooled aggregate record.  A dashboard -- or plain ``curl`` -- watches the
+confidence intervals tighten as worker machines drain the spool.
+
+When the spool drains (no tasks, no leases), the stream re-aggregates every
+collected row in canonical batch order
+(:func:`~repro.metrics.partial.rows_in_batch_order`) and emits a ``done``
+event whose records are bit-identical to the serial batch aggregate over
+the same rows -- the same guarantee the ``/aggregate`` endpoint makes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.experiments.queue import PartsTail
+from repro.experiments.spec import ScenarioSpec
+from repro.metrics.partial import PartialAggregator, rows_in_batch_order
+
+__all__ = ["follow_scenario"]
+
+
+def follow_scenario(
+    service,
+    spec: ScenarioSpec,
+    poll_interval_s: float = 0.2,
+    timeout_s: Optional[float] = None,
+    expect: int = 0,
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(event, payload)`` pairs tailing the queue for one scenario.
+
+    Events, in order: one ``listening`` hello; an ``update`` per completed
+    task belonging to the scenario (its cell's running aggregate, rows in
+    *arrival* order -- a converging estimate); finally either ``done`` (the
+    spool drained; final records re-aggregated in canonical batch order) or
+    ``timeout``.  ``expect`` > 0 refuses to declare ``done`` before that
+    many rows arrived, which closes the startup race where a follower
+    attaches before the coordinator has spooled any tasks.
+    """
+    queue = service.queue
+    if queue is None:
+        raise ValueError("follow_scenario needs a service with a work queue")
+    names: List[str] = service.cell_names(spec)
+    wanted: Set[str] = set(names)
+    running = PartialAggregator(spec.aggregate_by)
+    rows: List[Any] = []
+    seen: Set[str] = set()
+    tail = PartsTail(queue)
+    started = time.monotonic()
+
+    yield "listening", {
+        "scenario": spec.name,
+        "queue": str(queue.directory),
+        "aggregate_by": list(spec.aggregate_by),
+        "poll_interval_s": poll_interval_s,
+        "expect": expect,
+    }
+
+    def absorb(fingerprints: List[str]) -> List[Tuple[str, Dict[str, Any]]]:
+        events: List[Tuple[str, Dict[str, Any]]] = []
+        for fingerprint in fingerprints:
+            if fingerprint in seen:
+                continue
+            row = queue.part_row(fingerprint)
+            if row is None:
+                # Unreadable / stale part: let a later manifest line or the
+                # periodic rescan re-offer it once it is fully written.
+                tail.forget(fingerprint)
+                continue
+            seen.add(fingerprint)
+            if row.name not in wanted:
+                continue
+            rows.append(row)
+            record = running.add(row)
+            events.append(("update", {
+                "completed": len(rows),
+                "fingerprint": fingerprint,
+                "label": row.label,
+                "cell": record,
+            }))
+        return events
+
+    while True:
+        for event in absorb(tail.poll()):
+            yield event
+        counts = queue.counts()
+        drained = counts["tasks"] == 0 and counts["leases"] == 0
+        if drained and len(rows) >= expect:
+            # One last forced scan: ``complete()`` renames the part and
+            # appends the manifest line *before* releasing the lease, so
+            # everything a drained spool produced is visible right now.
+            for event in absorb(tail.poll(force_scan=True)):
+                yield event
+            final = (
+                PartialAggregator(spec.aggregate_by)
+                .add_all(rows_in_batch_order(rows, names))
+                .snapshot()
+            )
+            yield "done", {
+                "completed": len(rows),
+                "failed": counts["failed"],
+                "records": final,
+            }
+            return
+        if timeout_s is not None and time.monotonic() - started > timeout_s:
+            yield "timeout", {
+                "completed": len(rows),
+                "spool": counts,
+                "partial": running.snapshot(),
+            }
+            return
+        time.sleep(poll_interval_s)

@@ -575,3 +575,126 @@ class TestWorkerCli:
 
         with pytest.raises(SystemExit, match="--queue-dir"):
             main(["run", "fig1", "--queue-dir", "/tmp/nope"])
+
+
+class TestHeartbeats:
+    def test_fresh_heartbeat_blocks_reclaim_of_an_old_lease(self, tmp_path):
+        # A worker stuck in one very slow cell keeps heartbeating even though
+        # its lease mtime is ancient: the lease must never be stolen while
+        # the heartbeat is fresh, however old the lease itself looks.
+        queue = TaskQueue(tmp_path / "q", lease_timeout_s=60.0)
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        task = queue.claim("slow-worker")
+        stale = time.time() - 3600.0
+        os.utime(queue.lease_path(config.fingerprint()), (stale, stale))
+        queue.heartbeat(task)
+        assert queue.reclaim_orphans() == []
+        # Only once the heartbeat too has gone silent is the worker presumed
+        # dead and the task requeued (and its heartbeat file cleared).
+        os.utime(queue.heartbeat_path(config.fingerprint()), (stale, stale))
+        assert queue.reclaim_orphans() == [config.fingerprint()]
+        assert not queue.heartbeat_path(config.fingerprint()).exists()
+        assert queue.claim("w2") is not None
+
+    def test_complete_clears_the_heartbeat(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        task = queue.claim("w1")
+        queue.heartbeat(task)
+        assert queue.heartbeat_path(config.fingerprint()).exists()
+        queue.complete(task, run_sweep({"cell": config}, workers=1)["cell"])
+        assert not queue.heartbeat_path(config.fingerprint()).exists()
+
+    def test_heartbeating_context_keeps_touching_the_file(self, tmp_path):
+        from repro.experiments.queue import _heartbeating
+
+        queue = TaskQueue(tmp_path / "q")
+        config = tiny_config()
+        queue.enqueue("cell", config)
+        task = queue.claim("w1")
+        heartbeat = queue.heartbeat_path(task.fingerprint)
+        with _heartbeating(queue, task, 0.05):
+            first = heartbeat.stat().st_mtime
+            deadline = time.time() + 5.0
+            while heartbeat.stat().st_mtime == first and time.time() < deadline:
+                time.sleep(0.02)
+            assert heartbeat.stat().st_mtime > first
+
+    def test_drained_worker_leaves_no_heartbeat_files(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        for label, config in tiny_cells(2).items():
+            queue.enqueue(label, config)
+        run_worker(queue, drain=True)
+        assert list(queue.leases_dir.glob("*.hb")) == []
+
+
+class TestPartsManifest:
+    def _completed(self, queue, n):
+        fingerprints = []
+        for label, config in tiny_cells(n).items():
+            queue.enqueue(label, config)
+        while True:
+            task = queue.claim("w1")
+            if task is None:
+                break
+            from repro.experiments.sweep import _run_cell
+
+            queue.complete(task, _run_cell((task.label, task.config)))
+            fingerprints.append(task.fingerprint)
+        return fingerprints
+
+    def test_complete_appends_to_the_manifest(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        fingerprints = self._completed(queue, 3)
+        assert queue.manifest_path.read_text().splitlines() == fingerprints
+
+    def test_tail_reads_manifest_increments(self, tmp_path):
+        from repro.experiments.queue import PartsTail
+
+        queue = TaskQueue(tmp_path / "q")
+        first_two = self._completed(queue, 2)
+        tail = PartsTail(queue)
+        assert sorted(tail.poll()) == sorted(first_two)
+        assert tail.poll() == []
+        third = self._completed(queue, 3)[-1]
+        assert tail.poll() == [third]
+        assert tail.poll() == []
+
+    def test_tail_falls_back_to_scanning_without_a_manifest(self, tmp_path):
+        from repro.experiments.queue import PartsTail
+
+        queue = TaskQueue(tmp_path / "q")
+        fingerprints = self._completed(queue, 2)
+        queue.manifest_path.unlink()
+        tail = PartsTail(queue)
+        assert sorted(tail.poll()) == sorted(fingerprints)
+        assert tail.poll() == []
+
+    def test_forget_re_reports_on_the_next_scan(self, tmp_path):
+        from repro.experiments.queue import PartsTail
+
+        queue = TaskQueue(tmp_path / "q")
+        (fingerprint,) = self._completed(queue, 1)
+        tail = PartsTail(queue)
+        assert tail.poll() == [fingerprint]
+        tail.forget(fingerprint)
+        assert tail.poll(force_scan=True) == [fingerprint]
+
+    def test_manifest_ignores_a_torn_trailing_line(self, tmp_path):
+        from repro.experiments.queue import PartsTail
+
+        queue = TaskQueue(tmp_path / "q")
+        (fingerprint,) = self._completed(queue, 1)
+        tail = PartsTail(queue)
+        assert tail.poll() == [fingerprint]
+        # A crashed writer can leave a newline-less fragment: the tail must
+        # not surface it until the line is completed.
+        with open(queue.manifest_path, "a") as handle:
+            handle.write("abcdef0123")
+        assert tail.poll() == []
+        with open(queue.manifest_path, "a") as handle:
+            handle.write("456789\n")
+        polled = tail.poll()
+        assert polled == [] or polled == ["abcdef0123456789"]

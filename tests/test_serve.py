@@ -1,0 +1,380 @@
+"""Results-service tests: endpoint schemas, byte-for-byte text parity with
+the offline CLIs, warm-aggregate invalidation, the zero-simulation
+guarantee, stale-code 409s, concurrent readers, and live follow streams
+over a real multi-worker queue drain."""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.queue import TaskQueue, run_worker
+from repro.experiments.spec import ScenarioSpec, register_scenario
+from repro.experiments.sweep import ResultCache, aggregate_rows, run_sweep
+from repro.serve import (
+    ResultsService,
+    ServiceError,
+    catalog_entries,
+    format_catalog,
+    make_server,
+)
+from repro.serve.streams import follow_scenario
+
+#: Star-topology defaults that simulate in a few milliseconds per cell.
+#: Flows fit one MTU so every flow lands in the single-packet latency
+#: digest the /cdf endpoint serves.
+TINY_DEFAULTS = {
+    "topology": "star",
+    "num_hosts": 4,
+    "workload": "fixed",
+    "fixed_size_bytes": 800,
+    "num_flows": 6,
+    "max_sim_time_s": 1.0,
+}
+
+SPEC = register_scenario(
+    ScenarioSpec(
+        name="serve_tiny",
+        description="two-cell smoke scenario for the results service",
+        defaults=TINY_DEFAULTS,
+        variants={
+            "A": {"name": "tiny-a"},
+            "B": {"name": "tiny-b", "num_flows": 8},
+        },
+        seeds=(1, 2),
+    ),
+    replace=True,
+)
+
+
+@pytest.fixture(scope="module")
+def warm(tmp_path_factory):
+    """A warm cache for serve_tiny plus its serial batch sweep result."""
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    sweep = SPEC.sweep(workers=1, cache=str(cache_dir))
+    return str(cache_dir), sweep
+
+
+@pytest.fixture()
+def server(warm):
+    cache_dir, _ = warm
+    srv = make_server(cache_dir, port=0, quiet=True)
+    threading.Thread(target=srv.serve_forever, daemon=True).start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def get(srv, path):
+    """``(status, body bytes)`` for a GET against the test server."""
+    port = srv.server_address[1]
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+def get_json(srv, path):
+    status, body = get(srv, path)
+    return status, json.loads(body)
+
+
+class TestCatalog:
+    def test_http_catalog_is_the_shared_entries(self, server):
+        status, payload = get_json(server, "/scenarios")
+        assert status == 200
+        assert payload["scenarios"] == catalog_entries()
+        assert payload["count"] == len(payload["scenarios"])
+        ours = [e for e in payload["scenarios"] if e["name"] == "serve_tiny"]
+        assert ours and ours[0]["shape"] == "2 variants, seeds [1, 2]"
+        assert ours[0]["variants"] == ["A", "B"]
+        assert ours[0]["cells"] == 2
+
+    def test_text_catalog_matches_cli_list_byte_for_byte(self, server, capsys):
+        from repro.__main__ import main as cli_main
+
+        assert cli_main(["list"]) == 0
+        cli_output = capsys.readouterr().out
+        status, body = get(server, "/scenarios?format=text")
+        assert status == 200
+        assert body.decode() == cli_output
+        assert body.decode() == format_catalog(catalog_entries()) + "\n"
+
+    def test_index_lists_endpoints(self, server, warm):
+        status, payload = get_json(server, "/")
+        assert status == 200
+        assert payload["cache_dir"] == warm[0]
+        assert "/scenarios/<name>/aggregate" in payload["endpoints"]
+
+
+class TestAggregate:
+    def test_records_equal_offline_batch_aggregate(self, server, warm):
+        _, sweep = warm
+        status, payload = get_json(server, "/scenarios/serve_tiny/aggregate")
+        assert status == 200
+        batch = aggregate_rows(list(sweep.rows.values()), by=SPEC.aggregate_by)
+        # Bit-for-bit: floats survive the JSON round trip exactly.
+        assert payload["records"] == batch
+        assert payload["replica_rows"] == len(sweep.rows)
+        assert payload["stale_rows"] == 0
+        assert payload["aggregate_by"] == list(SPEC.aggregate_by)
+
+    def test_warm_reuse_and_stat_invalidation(self, server, warm):
+        cache_dir, _ = warm
+        _, first = get_json(server, "/scenarios/serve_tiny/aggregate")
+        assert first["warm"] is False
+        _, second = get_json(server, "/scenarios/serve_tiny/aggregate")
+        assert second["warm"] is True
+        assert second["records"] == first["records"]
+        # Any mtime change in the cache dir invalidates the warm copy.
+        victim = next(entry.path for entry in ResultCache(cache_dir).scan())
+        stat = victim.stat()
+        os.utime(victim, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        _, third = get_json(server, "/scenarios/serve_tiny/aggregate")
+        assert third["warm"] is False
+        assert third["records"] == first["records"]
+
+    def test_unknown_scenario_404(self, server):
+        status, payload = get_json(server, "/scenarios/nope/aggregate")
+        assert status == 404
+        assert "nope" in payload["error"]
+
+    def test_empty_cache_404_with_hint(self, tmp_path):
+        service = ResultsService(str(tmp_path / "empty"))
+        with pytest.raises(ServiceError) as err:
+            service.aggregate("serve_tiny")
+        assert err.value.status == 404
+        assert "repro run" in err.value.payload["hint"]
+
+    def test_unknown_path_404_lists_endpoints(self, server):
+        status, payload = get_json(server, "/bogus/path")
+        assert status == 404
+        assert "/scenarios" in payload["endpoints"]
+
+
+class TestTextParity:
+    @pytest.mark.parametrize("query,flags", [
+        ("?format=text", []),
+        ("?format=text&cdf=1", ["--cdf"]),
+    ])
+    def test_aggregate_text_is_report_cli_byte_for_byte(
+        self, server, warm, capsys, query, flags
+    ):
+        from repro.metrics.report import main as report_main
+
+        cache_dir, _ = warm
+        assert report_main([cache_dir, *flags]) == 0
+        cli_output = capsys.readouterr().out
+        status, body = get(server, f"/scenarios/serve_tiny/aggregate{query}")
+        assert status == 200
+        assert body.decode() == cli_output
+
+
+class TestZeroSimulation:
+    def test_read_path_never_runs_an_experiment(self, server, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        def tripwire(*args, **kwargs):  # pragma: no cover - must not fire
+            raise AssertionError("serve read path invoked run_experiment")
+
+        monkeypatch.setattr(runner_mod, "run_experiment", tripwire)
+        for path in (
+            "/scenarios",
+            "/scenarios/serve_tiny/aggregate",
+            "/scenarios/serve_tiny/aggregate?format=text",
+            "/scenarios/serve_tiny/cdf",
+        ):
+            status, _ = get(server, path)
+            assert status == 200, path
+
+
+class TestStaleCode:
+    def test_all_stale_rows_answer_409(self, server, monkeypatch):
+        get_json(server, "/scenarios/serve_tiny/aggregate")  # warm first
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        status, payload = get_json(server, "/scenarios/serve_tiny/aggregate")
+        assert status == 409
+        assert payload["stale_rows"] == 4
+        assert "different simulator version" in payload["error"]
+
+    def test_stale_cell_answers_409(self, server, warm, monkeypatch):
+        _, sweep = warm
+        fingerprint = next(iter(sweep.rows.values())).fingerprint
+        status, payload = get_json(server, f"/cells/{fingerprint}")
+        assert status == 200
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        status, payload = get_json(server, f"/cells/{fingerprint}")
+        assert status == 409
+        assert payload["serving_code"] == "pretend-code-changed"
+
+    def test_any_code_service_keeps_serving(self, warm, monkeypatch):
+        cache_dir, sweep = warm
+        service = ResultsService(cache_dir, code_aware=False)
+        monkeypatch.setattr(
+            "repro.experiments.sweep._CODE_FINGERPRINT", "pretend-code-changed"
+        )
+        payload = service.aggregate("serve_tiny")
+        assert payload["replica_rows"] == len(sweep.rows)
+
+
+class TestCells:
+    def test_cell_round_trips_the_row(self, server, warm):
+        _, sweep = warm
+        row = next(iter(sweep.rows.values()))
+        status, payload = get_json(server, f"/cells/{row.fingerprint}")
+        assert status == 200
+        assert payload["source"] == "cache"
+        assert payload["row"] == json.loads(json.dumps(row.to_dict()))
+
+    def test_unknown_fingerprint_404(self, server):
+        status, payload = get_json(server, "/cells/deadbeef")
+        assert status == 404
+
+
+class TestCdf:
+    def test_cdf_points_come_from_the_stored_digests(self, server, warm):
+        _, sweep = warm
+        status, payload = get_json(server, "/scenarios/serve_tiny/cdf")
+        assert status == 200
+        assert payload["scenario"] == "serve_tiny"
+        assert len(payload["cells"]) == len(sweep.rows)
+        for cell in payload["cells"]:
+            assert cell["count"] > 0
+            assert len(cell["points"]) == 12
+            fractions = [fraction for _, fraction in cell["points"]]
+            assert fractions == sorted(fractions)
+
+    def test_cdf_text_is_the_cli_plot_blocks(self, server):
+        status, body = get(server, "/scenarios/serve_tiny/cdf?format=text")
+        assert status == 200
+        assert body.decode().startswith("=== ")
+        assert "single-packet latency tail" in body.decode()
+
+
+class TestConcurrency:
+    def test_parallel_readers_agree(self, server):
+        results, errors = [], []
+
+        def read():
+            try:
+                for _ in range(5):
+                    status, payload = get_json(
+                        server, "/scenarios/serve_tiny/aggregate"
+                    )
+                    assert status == 200
+                    results.append(payload["records"])
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 40
+        assert all(records == results[0] for records in results)
+
+
+class TestFollow:
+    def _spooled_queue(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        configs = SPEC.replicated()
+        for label, config in configs.items():
+            queue.enqueue(label, config)
+        return queue, configs
+
+    def test_stream_converges_to_serial_batch_bit_for_bit(self, tmp_path):
+        queue, configs = self._spooled_queue(tmp_path)
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(queue,),
+                kwargs={"worker_id": f"w{i}", "drain": True, "poll_interval_s": 0.05},
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+
+        service = ResultsService(
+            str(tmp_path / "q" / "cache"), queue_dir=str(tmp_path / "q")
+        )
+        events = list(follow_scenario(
+            service, SPEC, poll_interval_s=0.05, timeout_s=120.0,
+            expect=len(configs),
+        ))
+        for worker in workers:
+            worker.join()
+
+        assert events[0][0] == "listening"
+        updates = [payload for event, payload in events if event == "update"]
+        assert len(updates) == len(configs)
+        assert updates[-1]["completed"] == len(configs)
+        assert events[-1][0] == "done"
+        done = events[-1][1]
+        serial = run_sweep(configs, workers=1)
+        batch = aggregate_rows(list(serial.rows.values()), by=SPEC.aggregate_by)
+        # The streamed final aggregate is bit-identical to the serial batch.
+        assert done["records"] == batch
+        assert done["completed"] == len(configs)
+        assert done["failed"] == 0
+
+    def test_http_sse_stream_over_live_drain(self, tmp_path):
+        queue, configs = self._spooled_queue(tmp_path)
+        srv = make_server(
+            str(tmp_path / "q" / "cache"),
+            queue_dir=str(tmp_path / "q"),
+            port=0,
+            quiet=True,
+        )
+        threading.Thread(target=srv.serve_forever, daemon=True).start()
+        workers = [
+            threading.Thread(
+                target=run_worker,
+                args=(queue,),
+                kwargs={"worker_id": f"w{i}", "drain": True, "poll_interval_s": 0.05},
+            )
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            status, body = get(
+                srv,
+                f"/scenarios/serve_tiny/follow?poll=0.05&expect={len(configs)}"
+                "&timeout=120",
+            )
+            assert status == 200
+            events = []
+            for block in body.decode().split("\n\n"):
+                if not block.strip():
+                    continue
+                lines = block.splitlines()
+                event = lines[0].removeprefix("event: ")
+                payload = json.loads(lines[1].removeprefix("data: "))
+                events.append((event, payload))
+            kinds = [event for event, _ in events]
+            assert kinds[0] == "listening" and kinds[-1] == "done"
+            assert kinds.count("update") == len(configs)
+            serial = run_sweep(configs, workers=1)
+            batch = aggregate_rows(list(serial.rows.values()), by=SPEC.aggregate_by)
+            assert events[-1][1]["records"] == batch
+        finally:
+            for worker in workers:
+                worker.join()
+            srv.shutdown()
+            srv.server_close()
+
+    def test_follow_without_queue_is_409(self, server):
+        status, payload = get_json(server, "/scenarios/serve_tiny/follow")
+        assert status == 409
+        assert "--queue-dir" in payload["error"]
