@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.congestion.factory import CONGESTION_SCHEMES
 from repro.core.factory import TRANSPORTS, TransportKind
+from repro.faults import FaultPlan
 from repro.sim.pfc import PfcConfig, headroom_for_link
 from repro.sim.switch import EcnConfig, SwitchConfig
 from repro.topology import TOPOLOGIES
@@ -227,6 +228,13 @@ class ExperimentConfig:
     #: ``False`` default is excluded, keeping old caches valid), and a
     #: digest-collecting sweep never gets served digest-less rows.
     fabric_digests: bool = False
+    #: Deterministic fault schedule (:class:`repro.faults.FaultPlan`).
+    #: ``None`` -- and an *empty* plan, which normalizes to ``None`` -- run
+    #: fault-free and are excluded from the canonical serialization, so the
+    #: field's introduction keeps every existing cache entry valid.  Any
+    #: non-empty plan changes both the physics and what the cached row
+    #: carries (recovery observables), so it joins the fingerprint.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         self.topology = _coerce_kind(self.topology, TopologyKind, TOPOLOGIES)
@@ -237,6 +245,12 @@ class ExperimentConfig:
         self.workload = _coerce_kind(self.workload, WorkloadKind, WORKLOADS)
         if isinstance(self.incast, dict):
             self.incast = IncastParams(**self.incast)
+        if isinstance(self.fault_plan, dict):
+            self.fault_plan = FaultPlan(**self.fault_plan)
+        if self.fault_plan is not None and self.fault_plan.is_empty:
+            # An empty plan is physically identical to no plan; normalizing
+            # here keeps it fingerprint-neutral (old cache rows still hit).
+            self.fault_plan = None
         if self.port_batch_bytes is not None and self.port_batch_bytes < 1:
             # A zero cap would silently stop every port from ever pulling a
             # packet; fail here, at the earliest surface.
@@ -481,6 +495,10 @@ class ExperimentConfig:
             del payload["ack_coalesce_us"]
         if not payload.get("pacing_quantum_us"):
             del payload["pacing_quantum_us"]
+        if payload.get("fault_plan") is None:
+            # ``__post_init__`` already collapsed empty plans to ``None``,
+            # so only genuinely fault-enabled configs key new cache entries.
+            del payload["fault_plan"]
         return _canonical(payload)
 
     def fingerprint(self) -> str:

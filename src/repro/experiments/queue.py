@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -571,6 +572,12 @@ def run_worker(
     4. on an idle queue, reclaim orphaned leases, then either exit (with
        ``drain=True``, once no pending tasks remain) or sleep and re-poll --
        a long-lived worker keeps serving sweeps as coordinators spool them.
+       Idle sleeps back off exponentially (with jitter, so a fleet of
+       workers doesn't poll in lockstep) from ``poll_interval_s / 16`` up
+       to ``poll_interval_s``, and reset to the floor the moment a task is
+       claimed: a worker that just went idle re-polls quickly for the next
+       spooled batch, while a long-idle worker converges to the configured
+       cadence.  The in-flight heartbeat cadence is unaffected.
 
     A cell that raises is recorded as a failure marker and the worker moves
     on; ``KeyboardInterrupt`` releases the in-flight task back to the
@@ -588,6 +595,8 @@ def run_worker(
     import_plugins()
 
     executed = 0
+    idle_polls = 0
+    jitter_rng = random.Random()
     while max_tasks is None or executed < max_tasks:
         task = queue.claim(worker_id)
         if task is None:
@@ -595,8 +604,11 @@ def run_worker(
                 continue
             if drain:
                 break
-            time.sleep(poll_interval_s)
+            delay = min(poll_interval_s, (poll_interval_s / 16) * 2 ** idle_polls)
+            idle_polls = min(idle_polls + 1, 8)
+            time.sleep(delay * (0.5 + jitter_rng.random() * 0.5))
             continue
+        idle_polls = 0
         try:
             with _heartbeating(queue, task, poll_interval_s):
                 row = _execute_task(task, cache)

@@ -77,6 +77,18 @@ class ResultRow:
     #: Simulation time of the first deadlock event (``None`` if none fired).
     time_to_deadlock_s: Optional[float] = None
 
+    # --- fault injection / recovery (``ExperimentConfig.fault_plan``) -------
+    #: True when the run carried a non-empty fault plan (0/None defaults on
+    #: all of these keep rows cached before fault injection deserializable).
+    faults_enabled: bool = False
+    #: Packets dropped by injected faults (flap + corruption), counted
+    #: separately from switch buffer drops.
+    fault_injected_drops: int = 0
+    #: Retransmissions triggered while a fault window was open.
+    retransmissions_during_fault: int = 0
+    #: Last-fault-end to first full-goodput instant; ``None`` if never.
+    recovery_time_s: Optional[float] = None
+
     # --- optional incast / cross-traffic metrics (§4.4.3) ------------------
     incast_rct_s: Optional[float] = None
     background_avg_slowdown: Optional[float] = None
@@ -101,6 +113,11 @@ class ResultRow:
     #: ``None`` when the run did not collect them.
     queue_depth_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
     pfc_pause_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    #: Fault-run recovery observables: per-time-bin goodput (bits/s) over
+    #: the whole run, and per-flow total stall seconds.  ``None`` on
+    #: fault-free rows.
+    goodput_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    stall_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
 
     # ------------------------------------------------------------------
     # ExperimentResult-compatible views
@@ -180,6 +197,24 @@ class ResultRow:
             else None
         )
 
+    @cached_property
+    def goodput_distribution(self) -> Optional[QuantileDigest]:
+        """Per-bin goodput timeline digest (``None`` on fault-free rows)."""
+        return (
+            QuantileDigest.from_dict(self.goodput_digest)
+            if self.goodput_digest
+            else None
+        )
+
+    @cached_property
+    def stall_distribution(self) -> Optional[QuantileDigest]:
+        """Per-flow stall-time digest (``None`` on fault-free rows)."""
+        return (
+            QuantileDigest.from_dict(self.stall_digest)
+            if self.stall_digest
+            else None
+        )
+
     @property
     def single_packet_count(self) -> int:
         """Completed single-packet messages (0 when the digest is absent)."""
@@ -216,6 +251,8 @@ class ResultRow:
         stats = result.collector.stream()
         fabric_depth = result.collector.fabric_queue_depth_digest()
         fabric_pause = result.collector.fabric_pfc_pause_digest()
+        goodput = result.collector.goodput_timeline_digest()
+        stall = result.collector.flow_stall_digest()
         return cls(
             label=label if label is not None else config.name,
             name=config.name,
@@ -241,6 +278,10 @@ class ResultRow:
             timeouts=result.timeouts,
             deadlock_events=result.deadlock_events,
             time_to_deadlock_s=result.time_to_deadlock_s,
+            faults_enabled=result.faults_enabled,
+            fault_injected_drops=result.fault_injected_drops,
+            retransmissions_during_fault=result.retransmissions_during_fault,
+            recovery_time_s=result.recovery_time_s,
             incast_rct_s=result.incast_rct_s,
             background_avg_slowdown=background.avg_slowdown if background else None,
             background_avg_fct_s=background.avg_fct if background else None,
@@ -257,6 +298,8 @@ class ResultRow:
             pfc_pause_digest=(
                 fabric_pause.to_dict() if fabric_pause is not None else None
             ),
+            goodput_digest=goodput.to_dict() if goodput is not None else None,
+            stall_digest=stall.to_dict() if stall is not None else None,
         )
 
     def to_dict(self) -> Dict[str, Any]:

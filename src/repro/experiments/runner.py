@@ -25,6 +25,7 @@ from repro.core.roce import RoceConfig
 from repro.core.transport import BaseReceiver, BaseSender, Flow
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultRow
+from repro.faults import FaultEngine
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.stats import MetricSummary
 from repro.sim.engine import Simulator
@@ -64,6 +65,17 @@ class ExperimentResult:
     #: Summary restricted to the background traffic (when incast + cross
     #: traffic are mixed, as in §4.4.3).
     background_summary: Optional[MetricSummary] = None
+    #: True when the config carried a non-empty fault plan.
+    faults_enabled: bool = False
+    #: Packets dropped by injected faults (link flaps + CRC corruption);
+    #: counted separately from switch buffer drops so packet conservation
+    #: holds modulo these explicit counters.
+    fault_injected_drops: int = 0
+    #: Retransmissions triggered while some fault window was open.
+    retransmissions_during_fault: int = 0
+    #: Last-fault-end to first full-goodput instant (``None`` if the run
+    #: never recovered, had no pre-fault reference, or ran fault-free).
+    recovery_time_s: Optional[float] = None
 
     @property
     def drop_rate(self) -> float:
@@ -275,12 +287,38 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     # able to hide behind a disabled knob.
     collector.install_deadlock_detector()
     launcher = _FlowLauncher(sim, network, config, collector)
+
+    fault_engine: Optional[FaultEngine] = None
+    plan = config.fault_plan
+    if plan is not None and not plan.is_empty:
+        # Recovery probes wrap host receivers first (inner), the fault
+        # engine second (outer): a fault-dropped packet must never count
+        # as delivered goodput.
+        collector.install_recovery_probes(
+            bin_s=plan.effective_goodput_bin_s(config.base_rtt_s()),
+            stall_threshold_s=plan.stall_threshold_s or config.effective_rto_low_s(),
+        )
+        fault_engine = FaultEngine(sim, network, plan, seed=config.seed)
+        fault_engine.retransmission_probe = lambda: sum(
+            sender.retransmissions for sender in launcher.senders
+        )
+        fault_engine.install()
+
     flows = _generate_flows(config, network)
 
     for flow in flows:
         sim.schedule_at(flow.start_time, launcher.launch, flow)
 
     sim.run(until=config.max_sim_time_s, max_events=config.max_events)
+
+    recovery_time: Optional[float] = None
+    if fault_engine is not None:
+        fault_engine.finalize()
+        tracker = collector.recovery_tracker
+        if tracker is not None:
+            recovery_time = tracker.recovery_time_s(
+                plan.first_fault_start_s(), plan.last_fault_end_s()
+            )
 
     incast_rct: Optional[float] = None
     background_summary: Optional[MetricSummary] = None
@@ -312,4 +350,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         time_to_deadlock_s=collector.time_to_deadlock_s,
         incast_rct_s=incast_rct,
         background_summary=background_summary,
+        faults_enabled=fault_engine is not None,
+        fault_injected_drops=0 if fault_engine is None else fault_engine.fault_drops,
+        retransmissions_during_fault=(
+            0 if fault_engine is None else fault_engine.retransmissions_during_fault
+        ),
+        recovery_time_s=recovery_time,
     )

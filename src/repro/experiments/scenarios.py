@@ -466,6 +466,83 @@ _paper_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Availability under explicit faults (repro.faults)
+# ---------------------------------------------------------------------------
+# The paper's §2/§5 story re-asked with faults made explicit: on a dumbbell
+# whose bottleneck link misbehaves, how do FCT tails and completion degrade
+# for IRN (loss-tolerant, no PFC) vs RoCE+PFC (loss-intolerant)?  Faults are
+# declarative ``FaultPlan``s riding the config (and its fingerprint), so
+# these sweep/cache/serve exactly like every other scenario.  Timing: 400
+# heavy-tailed flows arrive over roughly the first 1.2 ms, so fault windows
+# start at 300 us (leaving a fault-free warm-up that anchors the recovery
+# reference goodput) and end by 1 ms, while traffic is still flowing.
+
+_AVAILABILITY_DEFAULTS: Dict[str, Any] = dict(
+    topology="dumbbell",
+    num_hosts=8,
+    num_flows=400,
+    flow_size_scale=0.1,
+)
+
+#: Both directions of the dumbbell's s0<->s1 bottleneck link.
+_BOTTLENECK = (("s0", "s1"), ("s1", "s0"))
+
+
+def _flap_rows(counts: Iterable[int]) -> Dict[str, Dict[str, Any]]:
+    """One row per flap count: 100 us outages every 200 us from t=300 us."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for count in counts:
+        faults = [
+            dict(kind="link_flap", src=src, dst=dst,
+                 start_s=300e-6 + 200e-6 * i, end_s=400e-6 + 200e-6 * i)
+            for i in range(count)
+            for src, dst in _BOTTLENECK
+        ]
+        rows[f"{count} flap{'s' if count != 1 else ''}"] = {
+            "fault_plan": {"faults": faults}
+        }
+    return rows
+
+
+def _corruption_rows(probabilities: Iterable[float]) -> Dict[str, Dict[str, Any]]:
+    """One row per corruption rate: a marginal cable from 300 us to 900 us."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for probability in probabilities:
+        faults = [
+            dict(kind="packet_corruption", src=src, dst=dst,
+                 probability=probability, start_s=300e-6, end_s=900e-6)
+            for src, dst in _BOTTLENECK
+        ]
+        rows[f"p={probability:g}"] = {"fault_plan": {"faults": faults}}
+    return rows
+
+
+_paper_scenario(
+    "availability_flap",
+    "Availability: IRN vs RoCE+PFC FCT/p99 vs bottleneck link-flap rate",
+    {
+        "RoCE (with PFC)": _scheme("roce", pfc=True),
+        "IRN (without PFC)": _scheme("irn", pfc=False),
+    },
+    rows=_flap_rows((1, 2, 4)),
+    defaults=_AVAILABILITY_DEFAULTS,
+    seeds=(1, 2, 3),
+)
+
+_paper_scenario(
+    "availability_corruption",
+    "Availability: IRN vs RoCE+PFC FCT/p99 vs bottleneck corruption rate",
+    {
+        "RoCE (with PFC)": _scheme("roce", pfc=True),
+        "IRN (without PFC)": _scheme("irn", pfc=False),
+    },
+    rows=_corruption_rows((0.001, 0.01, 0.05)),
+    defaults=_AVAILABILITY_DEFAULTS,
+    seeds=(1, 2, 3),
+)
+
+
+# ---------------------------------------------------------------------------
 # Legacy builder functions
 # ---------------------------------------------------------------------------
 # Thin wrappers over the registered specs, kept with their historical

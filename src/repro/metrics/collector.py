@@ -131,6 +131,9 @@ class MetricsCollector:
         #: Online PFC deadlock detector; ``None`` until
         #: :meth:`install_deadlock_detector` attaches it.
         self.deadlock_detector = None
+        #: Recovery tracker for fault-enabled runs; ``None`` until
+        #: :meth:`install_recovery_probes` attaches it.
+        self.recovery_tracker = None
 
     # ------------------------------------------------------------------
     def ideal_fct(self, flow: Flow) -> float:
@@ -206,6 +209,33 @@ class MetricsCollector:
         detector.install(self.network)
         self.deadlock_detector = detector
         return detector
+
+    def install_recovery_probes(self, bin_s: float, stall_threshold_s: float):
+        """Attach a :class:`~repro.metrics.recovery.RecoveryTracker` to every
+        host (goodput timeline, per-flow stall gaps).
+
+        Must be installed *before* the fault engine wraps the same
+        receivers, so injected drops never count as delivered goodput.
+        Pure observation otherwise: no events, no randomness.
+        """
+        from repro.metrics.recovery import RecoveryTracker
+
+        tracker = RecoveryTracker(
+            self.network.sim, bin_s=bin_s, stall_threshold_s=stall_threshold_s
+        )
+        tracker.install(self.network)
+        self.recovery_tracker = tracker
+        return tracker
+
+    def goodput_timeline_digest(self) -> Optional[QuantileDigest]:
+        """Per-bin goodput over the run (``None`` without recovery probes)."""
+        tracker = self.recovery_tracker
+        return None if tracker is None else tracker.goodput_timeline_digest()
+
+    def flow_stall_digest(self) -> Optional[QuantileDigest]:
+        """Per-flow stall seconds (``None`` without recovery probes)."""
+        tracker = self.recovery_tracker
+        return None if tracker is None else tracker.flow_stall_digest()
 
     @property
     def deadlock_events(self) -> int:

@@ -62,14 +62,27 @@ DIGEST_COLUMNS: Tuple[Tuple[str, str, str, Tuple[Tuple[float, str], ...],
     ("pfc_pause_digest", "pfc_pause", "s",
      ((0.50, "p50"), (0.99, "p99"), (0.999, "p999")),
      "pfc_pause_events", "pfc_pause_total_s"),
+    # Fault-injection recovery observables (collected when the config
+    # carries a non-empty ``fault_plan``): per-time-bin goodput over the
+    # whole run, and per-flow total stall seconds.
+    ("goodput_digest", "goodput", "bps",
+     ((0.50, "p50"), (0.99, "p99")), None, None),
+    ("stall_digest", "flow_stall", "s",
+     ((0.50, "p50"), (0.99, "p99")), None, "flow_stall_total_s"),
 )
+
+#: Counters summed per cell only when some absorbed row was fault-enabled
+#: (mirrors ``min_time_to_deadlock_s``: fault-free cells keep their
+#: pre-fault-injection record shape).
+FAULT_COUNTERS = ("fault_injected_drops", "retransmissions_during_fault")
 
 
 class _CellState:
     """Running aggregate of every row absorbed for one parameter cell."""
 
     __slots__ = ("key", "replicas", "seeds", "metric_values", "drop_rates",
-                 "counters", "num_flows_total", "digests", "time_to_deadlock_s")
+                 "counters", "num_flows_total", "digests", "time_to_deadlock_s",
+                 "faults_seen", "fault_counters", "recovery_times")
 
     def __init__(self, key: Tuple[Any, ...]) -> None:
         self.key = key
@@ -87,6 +100,12 @@ class _CellState:
         self.digests: Dict[str, Optional[QuantileDigest]] = {
             spec[0]: None for spec in DIGEST_COLUMNS
         }
+        #: True once any absorbed row was fault-enabled; gates the fault
+        #: columns so fault-free cells keep their record shape.
+        self.faults_seen = False
+        self.fault_counters: Dict[str, int] = {c: 0 for c in FAULT_COUNTERS}
+        #: Replica ``recovery_time_s`` values that were not ``None``.
+        self.recovery_times: List[float] = []
 
     def absorb(self, row: "ResultRow") -> None:
         self.replicas += 1
@@ -102,6 +121,13 @@ class _CellState:
             self.time_to_deadlock_s is None or ttd < self.time_to_deadlock_s
         ):
             self.time_to_deadlock_s = ttd
+        if getattr(row, "faults_enabled", False):
+            self.faults_seen = True
+            for counter in FAULT_COUNTERS:
+                self.fault_counters[counter] += getattr(row, counter, 0)
+            recovery = getattr(row, "recovery_time_s", None)
+            if recovery is not None:
+                self.recovery_times.append(recovery)
         for field, *_ in DIGEST_COLUMNS:
             payload = getattr(row, field, None)
             if payload is None:
@@ -128,6 +154,13 @@ class _CellState:
             # Earliest wedge across replicas -- only emitted when one fired,
             # so deadlock-free cells keep their pre-detector record shape.
             record["min_time_to_deadlock_s"] = self.time_to_deadlock_s
+        if self.faults_seen:
+            for counter in FAULT_COUNTERS:
+                record[f"{counter}_total"] = self.fault_counters[counter]
+            record["recovered_replicas"] = len(self.recovery_times)
+            if self.recovery_times:
+                record["recovery_time_s_mean"] = mean(self.recovery_times)
+                record["recovery_time_s_max"] = max(self.recovery_times)
         for field, prefix, unit, fractions, count_col, sum_col in DIGEST_COLUMNS:
             digest = self.digests[field]
             if digest is None or not digest.count:

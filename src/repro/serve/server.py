@@ -52,6 +52,7 @@ Consistency contract
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -128,6 +129,7 @@ class ResultsService:
             "queue_dir": str(self.queue.directory) if self.queue else None,
             "code": code_fingerprint(),
             "endpoints": [
+                "/healthz",
                 "/scenarios",
                 "/scenarios/<name>/aggregate",
                 "/scenarios/<name>/cdf",
@@ -390,6 +392,17 @@ class ResultsRequestHandler(BaseHTTPRequestHandler):
         text = params.get("format") == "text"
         if not segments:
             self._send_json(200, self.service.index())
+        elif segments == ["healthz"]:
+            # Liveness/readiness probe: cheap, no cache access.  A server
+            # draining toward shutdown still answers (in-flight requests
+            # are finished gracefully) but reports it, so orchestrators
+            # can stop routing new traffic at it.
+            self._send_json(200, {
+                "status": "ok",
+                "shutting_down": getattr(
+                    self.server, "shutting_down", threading.Event()
+                ).is_set(),
+            })
         elif segments == ["scenarios"]:
             entries = self.service.catalog()
             if text:
@@ -445,12 +458,16 @@ class ResultsRequestHandler(BaseHTTPRequestHandler):
                 "--queue-dir pointing at the sweep's queue directory",
             )
         spec = self.service.spec(name)
+        shutting_down = getattr(self.server, "shutting_down", None)
         events = follow_scenario(
             self.service,
             spec,
             poll_interval_s=_number(params, "poll", 0.2),
             timeout_s=_number(params, "timeout", 0) or None,
             expect=int(_number(params, "expect", 0)),
+            # A shutdown request drains the stream with a final ``closed``
+            # event instead of severing the socket mid-stream.
+            should_stop=shutting_down.is_set if shutting_down is not None else None,
         )
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream; charset=utf-8")
@@ -480,7 +497,15 @@ def _number(params: Dict[str, str], key: str, default: float) -> float:
 
 
 class ResultsServer(ThreadingHTTPServer):
-    """A threading HTTP server owning one :class:`ResultsService`."""
+    """A threading HTTP server owning one :class:`ResultsService`.
+
+    Shuts down gracefully: :meth:`request_shutdown` (also wired to
+    SIGTERM/SIGINT by :func:`run_from_args`) flips the ``shutting_down``
+    event -- which open ``/follow`` streams watch, closing with a final
+    ``closed`` SSE event -- then stops the accept loop.  In-flight request
+    threads finish their responses; only then does ``serve_forever``
+    return.
+    """
 
     daemon_threads = True
 
@@ -492,7 +517,18 @@ class ResultsServer(ThreadingHTTPServer):
     ) -> None:
         self.service = service
         self.quiet = quiet
+        self.shutting_down = threading.Event()
         super().__init__(address, ResultsRequestHandler)
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown; safe to call from any thread (signal
+        handlers and request threads included -- ``shutdown()`` blocks
+        until the accept loop exits, so it must not run on the serving
+        thread itself)."""
+        if self.shutting_down.is_set():
+            return
+        self.shutting_down.set()
+        threading.Thread(target=self.shutdown, name="serve-shutdown", daemon=True).start()
 
 
 def make_server(
@@ -561,11 +597,17 @@ def run_from_args(args) -> int:
         flush=True,
     )
     try:
+        signal.signal(signal.SIGTERM, lambda *_: server.request_shutdown())
+        signal.signal(signal.SIGINT, lambda *_: server.request_shutdown())
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+    print("repro serve: shut down cleanly", flush=True)
     return 0
 
 

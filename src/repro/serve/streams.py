@@ -17,7 +17,7 @@ the same rows -- the same guarantee the ``/aggregate`` endpoint makes.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.experiments.queue import PartsTail
 from repro.experiments.spec import ScenarioSpec
@@ -32,16 +32,20 @@ def follow_scenario(
     poll_interval_s: float = 0.2,
     timeout_s: Optional[float] = None,
     expect: int = 0,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Iterator[Tuple[str, Dict[str, Any]]]:
     """Yield ``(event, payload)`` pairs tailing the queue for one scenario.
 
     Events, in order: one ``listening`` hello; an ``update`` per completed
     task belonging to the scenario (its cell's running aggregate, rows in
     *arrival* order -- a converging estimate); finally either ``done`` (the
-    spool drained; final records re-aggregated in canonical batch order) or
-    ``timeout``.  ``expect`` > 0 refuses to declare ``done`` before that
-    many rows arrived, which closes the startup race where a follower
-    attaches before the coordinator has spooled any tasks.
+    spool drained; final records re-aggregated in canonical batch order),
+    ``timeout``, or ``closed`` (the ``should_stop`` callable turned true --
+    a gracefully shutting-down server drains its follow streams this way,
+    each with a final well-formed event instead of a severed socket).
+    ``expect`` > 0 refuses to declare ``done`` before that many rows
+    arrived, which closes the startup race where a follower attaches before
+    the coordinator has spooled any tasks.
     """
     queue = service.queue
     if queue is None:
@@ -110,6 +114,13 @@ def follow_scenario(
             return
         if timeout_s is not None and time.monotonic() - started > timeout_s:
             yield "timeout", {
+                "completed": len(rows),
+                "spool": counts,
+                "partial": running.snapshot(),
+            }
+            return
+        if should_stop is not None and should_stop():
+            yield "closed", {
                 "completed": len(rows),
                 "spool": counts,
                 "partial": running.snapshot(),

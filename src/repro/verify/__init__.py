@@ -17,9 +17,7 @@ Run it from the command line::
 
 from repro.verify.fuzz import (
     CaseOutcome,
-    DropFault,
     FuzzCase,
-    PauseFault,
     TimerStormFault,
     run_case,
 )
@@ -38,10 +36,8 @@ from repro.verify.harness import (
 __all__ = [
     "CaseOutcome",
     "CaseReport",
-    "DropFault",
     "FuzzCase",
     "FuzzReport",
-    "PauseFault",
     "TimerStormFault",
     "check_case",
     "check_outcome",

@@ -13,20 +13,36 @@ host counters, per-QP ordering violations) that
 :mod:`repro.verify.harness` runs every case on *both* cores and also checks
 cross-core event-order identity.
 
-Fault kinds (all deterministic, all scheduled before the run starts):
+Fault kinds (all deterministic, all scheduled before the run starts).
+The packet-touching kinds are the shared :mod:`repro.faults` dataclasses --
+the same ``FaultPlan`` machinery experiment configs carry -- installed
+through one :class:`~repro.faults.FaultEngine` per case:
 
-* **pause** -- pause/resume an output port for a window (a transient link
-  stall).  Only generated for non-lossless cases: under PFC the fault's
-  resume could fight the PFC state machine and un-pause a legitimately
-  paused port, which would make losslessness violations the *fuzzer's*
-  fault rather than the simulator's.
-* **drop** -- drop the Nth data packets arriving at one switch (counted as
-  ordinary congestion drops).  Only generated for non-lossless cases; the
-  harness's known-bad self-test injects one into a *lossless* case on
+* **pause storm** (:class:`~repro.faults.PauseStorm`) -- pause/resume an
+  output port for a window (a transient link stall).
+* **packet corruption** (:class:`~repro.faults.PacketCorruption`) -- seeded
+  Bernoulli CRC drops on one directed link, counted in the engine's
+  ``fault_drops`` (never as congestion drops).  The harness's known-bad
+  self-test injects a probability-1.0 corruption into a *lossless* case on
   purpose to prove the losslessness invariant catches it.
-* **timer storm** -- a burst of set-then-mostly-cancel timers (the
-  retransmission pattern at adversarial volume), stressing the calendar
-  core's wheel-flush and overflow-band accounting.
+* **link flap** (:class:`~repro.faults.LinkFlap`) / **degraded link**
+  (:class:`~repro.faults.DegradedLink`) -- drawn at seed-tail.
+* **timer storm** (fuzzer-private :class:`TimerStormFault`) -- a burst of
+  set-then-mostly-cancel timers (the retransmission pattern at adversarial
+  volume), stressing the calendar core's wheel-flush and overflow-band
+  accounting.
+
+All packet-touching faults are restricted to non-lossless cases: under PFC
+an injected drop (or a resume fighting the PFC state machine) would make
+losslessness violations the *fuzzer's* fault rather than the simulator's.
+
+Seed-corpus note: promoting the fault kinds to :mod:`repro.faults`
+replaced the fuzzer-private ``PauseFault``/``DropFault`` draws with
+``PauseStorm``/``PacketCorruption`` (same draw positions) and added
+seed-tail ``LinkFlap``/``DegradedLink`` draws, so seeds generate different
+fault schedules than they did before that change.  A seed remains a
+complete reproduction against the current code -- that is the contract --
+and counterexample files record the seed, not the schedule.
 """
 
 from __future__ import annotations
@@ -38,10 +54,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.transport import Flow
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import _FlowLauncher
+from repro.faults import (
+    DegradedLink,
+    FaultEngine,
+    FaultPlan,
+    LinkFlap,
+    PacketCorruption,
+    PauseStorm,
+)
 from repro.metrics.collector import MetricsCollector
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.sim.packet import PacketType
 
 #: Topology families the fuzzer samples.  ``mesh`` is built directly (a
 #: random connected switch graph); the rest resolve through ``TOPOLOGIES``.
@@ -58,24 +81,10 @@ DEFAULT_MAX_EVENTS = 2_000_000
 # ---------------------------------------------------------------------------
 # Fault schedule
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
-class PauseFault:
-    """Pause the output port on the directed link ``src -> dst``."""
-
-    src: str
-    dst: str
-    start_s: float
-    end_s: float
-
-
-@dataclass(frozen=True)
-class DropFault:
-    """Drop the ``indices``-th data packets arriving at ``switch``."""
-
-    switch: str
-    indices: Tuple[int, ...]
-
-
+# The packet-touching kinds (PauseStorm, PacketCorruption, LinkFlap,
+# DegradedLink) are the shared repro.faults dataclasses; only the timer
+# storm stays fuzzer-private -- it stresses the engine's timer wheel, not
+# the fabric, and has no meaning in an experiment's fault plan.
 @dataclass(frozen=True)
 class TimerStormFault:
     """At ``time_s`` set ``len(delays)`` timers; cancel ``cancel_now`` of
@@ -202,19 +211,26 @@ class FuzzCase:
             start = rng.uniform(0.0, 200e-6)
             flows.append((flow_id, src, dst, size, start))
 
-        # Fault schedule.
+        # Fault schedule (packet-touching kinds only on non-lossless cases;
+        # see the module docstring's seed-corpus note).
         faults: List[Any] = []
         if not pfc_enabled:
             for _ in range(rng.randint(0, 2)):
                 src, dst = rng.choice(links)
                 start = rng.uniform(0.0, 150e-6)
                 faults.append(
-                    PauseFault(src, dst, start, start + rng.uniform(20e-6, 200e-6))
+                    PauseStorm(src, dst, start, start + rng.uniform(20e-6, 200e-6))
                 )
             if rng.random() < 0.5:
-                switch_names = sorted({n for pair in links for n in pair if not n.startswith("h")})
-                indices = tuple(sorted(rng.sample(range(150), rng.randint(1, 5))))
-                faults.append(DropFault(rng.choice(switch_names), indices))
+                src, dst = rng.choice(links)
+                probability = rng.uniform(0.05, 0.5)
+                start = rng.uniform(0.0, 150e-6)
+                faults.append(
+                    PacketCorruption(
+                        src, dst, probability,
+                        start_s=start, end_s=start + rng.uniform(50e-6, 400e-6),
+                    )
+                )
         for _ in range(rng.randint(0, 2)):
             count = rng.randint(40, 250)
             delays = tuple(rng.uniform(1e-6, 4e-3) for _ in range(count))
@@ -235,6 +251,25 @@ class FuzzCase:
         # same topology/workload/fault schedule they always did.
         ack_coalesce_n = rng.choice((1, 2, 4, 8))
         ack_coalesce_us = rng.choice((5.0, 25.0, 60.0))
+        if not pfc_enabled:
+            if rng.random() < 0.4:
+                src, dst = rng.choice(links)
+                start = rng.uniform(0.0, 150e-6)
+                faults.append(
+                    LinkFlap(src, dst, start, start + rng.uniform(20e-6, 150e-6))
+                )
+            if rng.random() < 0.3:
+                src, dst = rng.choice(links)
+                start = rng.uniform(0.0, 150e-6)
+                faults.append(
+                    DegradedLink(
+                        src, dst, start, start + rng.uniform(50e-6, 300e-6),
+                        # Powers of two, so the end-of-window division
+                        # restores the link's rate and delay bit-exactly.
+                        bandwidth_factor=rng.choice((0.25, 0.5)),
+                        delay_factor=rng.choice((1.0, 2.0, 4.0)),
+                    )
+                )
 
         return cls(
             seed=seed,
@@ -344,65 +379,34 @@ class FuzzCase:
 # ---------------------------------------------------------------------------
 # Fault installation
 # ---------------------------------------------------------------------------
-class DropInjector:
-    """Deterministically drops the Nth data packets arriving at one switch.
-
-    Wraps ``switch.receive``; dropped packets are accounted exactly like
-    congestion drops (``packets_dropped`` / ``bytes_dropped``), so the
-    conservation invariant still balances -- and a drop injected on a
-    *lossless* switch trips the losslessness invariant, which is the
-    harness's known-bad self-test.
-    """
-
-    def __init__(self, switch, indices) -> None:
-        self.switch = switch
-        self.indices = frozenset(indices)
-        self.seen = 0
-        self.injected = 0
-        self._orig_receive = switch.receive
-        switch.receive = self._receive
-
-    def _receive(self, packet, link) -> None:
-        if packet.ptype is PacketType.DATA:
-            index = self.seen
-            self.seen += 1
-            if index in self.indices:
-                self.switch.packets_dropped += 1
-                self.switch.bytes_dropped += packet.size_bytes
-                self.injected += 1
-                return
-        self._orig_receive(packet, link)
-
-
 def _noop() -> None:
     return None
 
 
-def install_faults(sim: Simulator, network: Network, case: FuzzCase) -> List[DropInjector]:
-    """Schedule every fault in ``case`` (returns the live drop injectors)."""
-    injectors: List[DropInjector] = []
+def install_faults(
+    sim: Simulator, network: Network, case: FuzzCase
+) -> Optional[FaultEngine]:
+    """Install every fault in ``case``.
+
+    The packet-touching kinds go through one shared
+    :class:`~repro.faults.FaultEngine` (the same machinery experiment runs
+    use), whose ``fault_drops`` counter the conservation invariant balances
+    against; timer storms are scheduled directly.  Returns the engine, or
+    ``None`` when the case carries only timer storms.
+    """
+    promoted = tuple(
+        fault for fault in case.faults if not isinstance(fault, TimerStormFault)
+    )
+    engine: Optional[FaultEngine] = None
+    if promoted:
+        engine = FaultEngine(
+            sim, network, FaultPlan(faults=promoted), seed=case.seed
+        )
+        engine.install()
     for fault in case.faults:
-        if isinstance(fault, PauseFault):
-            node = network.node(fault.src)
-            port = None
-            if hasattr(node, "port_towards"):
-                try:
-                    port = node.port_towards(fault.dst)
-                except KeyError:  # pragma: no cover - defensive
-                    port = None
-            elif getattr(node, "uplink_port", None) is not None:
-                port = node.uplink_port
-            if port is None:
-                continue
-            sim.schedule_at(fault.start_s, port.pause)
-            sim.schedule_at(fault.end_s, port.resume)
-        elif isinstance(fault, DropFault):
-            switch = network.switches.get(fault.switch)
-            if switch is not None:
-                injectors.append(DropInjector(switch, fault.indices))
-        elif isinstance(fault, TimerStormFault):
+        if isinstance(fault, TimerStormFault):
             sim.schedule_at(fault.time_s, _fire_timer_storm, sim, fault)
-    return injectors
+    return engine
 
 
 def _fire_timer_storm(sim: Simulator, fault: TimerStormFault) -> None:
@@ -470,7 +474,10 @@ class CaseOutcome:
     packets_committed: int      # host NIC pulls (data + control)
     packets_delivered: int      # host receives (data + control)
     switch_drops: int
-    injected_drops: int
+    #: Packets consumed by the shared fault engine (corruption + flap);
+    #: conservation balances against this counter, and losslessness treats
+    #: it exactly like a switch drop.
+    fault_drops: int
     queued_packets: int
     flows_total: int
     flows_completed: int
@@ -508,7 +515,7 @@ def run_case(case: FuzzCase, queue: Optional[str] = None) -> CaseOutcome:
     flows = case.build_flows()
     for flow in flows:
         sim.schedule_at(flow.start_time, launch, flow)
-    injectors = install_faults(sim, network, case)
+    fault_engine = install_faults(sim, network, case)
 
     sim.run(until=case.max_sim_time_s, max_events=case.max_events)
     # Let retransmissions and queued traffic drain to quiescence (bounded by
@@ -531,7 +538,7 @@ def run_case(case: FuzzCase, queue: Optional[str] = None) -> CaseOutcome:
             h.data_packets_received + h.control_packets_received for h in hosts
         ),
         switch_drops=network.total_dropped_packets(),
-        injected_drops=sum(injector.injected for injector in injectors),
+        fault_drops=0 if fault_engine is None else fault_engine.fault_drops,
         queued_packets=network.total_queued_packets(),
         flows_total=len(flows),
         flows_completed=sum(1 for flow in flows if flow.completed),

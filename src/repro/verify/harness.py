@@ -7,9 +7,9 @@ use.  It generates ``budget`` seed-derived cases, runs each on the calendar
 counterexample (the seed inside it is a complete reproduction:
 ``python -m repro.verify --seed N``).
 
-``self_test`` guards the guard: it injects a drop into a *lossless* case
-and fails unless the losslessness invariant catches it -- proof the harness
-can still detect the class of bug it exists for.
+``self_test`` guards the guard: it corrupts packets on a *lossless* case
+and fails unless the losslessness invariant catches the resulting fault
+drops -- proof the harness can still detect the class of bug it exists for.
 """
 
 from __future__ import annotations
@@ -19,7 +19,8 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.verify.fuzz import DropFault, FuzzCase, run_case
+from repro.faults import PacketCorruption
+from repro.verify.fuzz import FuzzCase, run_case
 from repro.verify.invariants import check_outcome, check_pair
 
 #: Environment knob CI uses to deepen nightly runs without a workflow edit.
@@ -125,11 +126,12 @@ def write_counterexample(case_report: CaseReport, out_dir: str) -> str:
 # Known-bad self-test
 # ---------------------------------------------------------------------------
 def known_bad_case(seed: int = 0) -> FuzzCase:
-    """A deliberately broken case: a drop injected on a *lossless* fabric.
+    """A deliberately broken case: corruption injected on a *lossless* fabric.
 
-    The fuzzer itself never generates this combination (drop faults are
-    restricted to non-lossless cases); constructing it by hand checks that
-    the losslessness invariant actually fires when the property is broken.
+    The fuzzer itself never generates this combination (packet-touching
+    faults are restricted to non-lossless cases); constructing it by hand
+    checks that the losslessness invariant actually fires when the property
+    is broken.
     """
     base = FuzzCase.generate(seed)
     # Force a lossless star so the dropped packet sits on a lossless port.
@@ -149,7 +151,9 @@ def known_bad_case(seed: int = 0) -> FuzzCase:
             (1, "h2", "h3", 8_000, 1e-6),
         ),
     )
-    return lossless.with_faults(DropFault(switch="s0", indices=(2,)))
+    return lossless.with_faults(
+        PacketCorruption(src="h0", dst="s0", probability=1.0, start_s=0.0, end_s=None)
+    )
 
 
 def self_test(log=print) -> bool:
@@ -157,9 +161,9 @@ def self_test(log=print) -> bool:
     report = check_case(known_bad_case())
     caught = any("losslessness violated" in v for v in report.violations)
     if caught:
-        log("self-test: losslessness invariant caught the injected drop")
+        log("self-test: losslessness invariant caught the injected corruption")
     else:
-        log("self-test FAILED: injected lossless drop went undetected")
+        log("self-test FAILED: injected lossless corruption went undetected")
         for violation in report.violations:
             log(f"  (saw only) {violation}")
     return caught

@@ -12,12 +12,15 @@ The invariants (the harness contract documented in
 2. **Accounting identity** -- ``events_scheduled == events_processed +
    events_cancelled + pending_events``, at any stopping point.
 3. **PFC losslessness** -- a lossless fabric never drops: with
-   ``pfc_enabled`` every switch's drop counter stays zero (injected drops
-   count too, which is how the known-bad self-test is caught).
-4. **Conservation** -- once the fabric is fully drained, every packet
-   committed to the wire by a host NIC was delivered to a host, dropped by
-   a switch, or is still sitting in a switch queue (the queued term covers
-   PFC-deadlocked fabrics, which go event-idle with packets wedged).
+   ``pfc_enabled`` the switch drop counters *and* the fault engine's
+   injected-drop counter stay zero (counting injected drops is how the
+   known-bad self-test is caught).
+4. **Conservation modulo counted fault drops** -- once the fabric is fully
+   drained, every packet committed to the wire by a host NIC was delivered
+   to a host, dropped by a switch, consumed by an injected fault
+   (corruption / link flap, tallied in ``fault_drops``), or is still
+   sitting in a switch queue (the queued term covers PFC-deadlocked
+   fabrics, which go event-idle with packets wedged).
 5. **Per-QP ordering** -- no receiver's in-order delivery frontier
    (``expected_psn``) ever regresses.
 6. **Completion sanity** -- completed flows never exceed launched flows,
@@ -63,24 +66,30 @@ def check_outcome(case: FuzzCase, outcome: CaseOutcome) -> List[str]:
             f"+ pending={outcome.pending_events} (= {accounted})"
         )
 
-    # 3. PFC losslessness: a lossless fabric never drops, ever.
-    if case.pfc_enabled and outcome.switch_drops != 0:
+    # 3. PFC losslessness: a lossless fabric never drops, ever -- injected
+    # fault drops included.
+    if case.pfc_enabled and (outcome.switch_drops + outcome.fault_drops) != 0:
         violations.append(
-            f"[{core}] losslessness violated: {outcome.switch_drops} drop(s) "
-            f"on a PFC-enabled fabric"
+            f"[{core}] losslessness violated: {outcome.switch_drops} switch "
+            f"drop(s) + {outcome.fault_drops} fault drop(s) on a PFC-enabled "
+            f"fabric"
         )
 
     # 4. Conservation of packets, judged only at full drain (an undrained
     # run stopped mid-flight by the event valve cannot balance).
     if outcome.drained:
         balance = (
-            outcome.packets_delivered + outcome.switch_drops + outcome.queued_packets
+            outcome.packets_delivered
+            + outcome.switch_drops
+            + outcome.fault_drops
+            + outcome.queued_packets
         )
         if outcome.packets_committed != balance:
             violations.append(
                 f"[{core}] conservation violated: committed="
                 f"{outcome.packets_committed} != delivered={outcome.packets_delivered}"
                 f" + dropped={outcome.switch_drops}"
+                f" + fault_dropped={outcome.fault_drops}"
                 f" + queued={outcome.queued_packets} (= {balance})"
             )
 
@@ -117,6 +126,7 @@ def check_pair(case: FuzzCase, calendar: CaseOutcome, heap: CaseOutcome) -> List
         "packets_committed",
         "packets_delivered",
         "switch_drops",
+        "fault_drops",
         "queued_packets",
         "flows_completed",
         "completions_recorded",

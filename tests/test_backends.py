@@ -394,6 +394,28 @@ class TestRunWorker:
         queue.enqueue("cell", tiny_config())
         assert run_worker(tmp_path / "q", drain=True) == 1
 
+    def test_idle_polls_back_off_exponentially_with_jitter(self, tmp_path, monkeypatch):
+        # An idle (non-drain) worker must not hammer the queue at a fixed
+        # cadence: sleeps start at poll/16 and double toward the configured
+        # interval, each jittered into [0.5, 1.0) of its nominal delay.
+        queue = TaskQueue(tmp_path / "q")
+        sleeps = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            if len(sleeps) >= 8:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.experiments.queue.time.sleep", fake_sleep)
+        with pytest.raises(KeyboardInterrupt):
+            run_worker(queue, poll_interval_s=0.8)
+        floor = 0.8 / 16
+        for attempt, observed in enumerate(sleeps):
+            nominal = min(0.8, floor * 2 ** attempt)
+            assert 0.5 * nominal <= observed < nominal
+        assert sleeps[-1] > sleeps[0]
+        assert max(sleeps) < 0.8  # jitter keeps every sleep under the cap
+
 
 class TestQueueBackend:
     def test_inline_queue_matches_serial_exactly(self, tmp_path):

@@ -145,3 +145,52 @@ class TestCoalescingMatrix:
         reference = rows.pop("heap")
         for queue, row in rows.items():
             assert row == reference, f"{queue} diverged at ack_coalesce_n={ack_n}"
+
+
+class TestFaultMatrix:
+    """Fault-enabled ResultRows pin byte-identical across every core.
+
+    Fault injection adds its own event sources (flap windows, per-link
+    corruption RNG draws, degraded-link boundary events, pause storms) and
+    its own observables (fault counters, goodput/stall digests,
+    ``recovery_time_s``).  All of them must replay exactly on every core --
+    otherwise a fault-enabled cached row would depend on which engine
+    computed it.
+    """
+
+    #: One window of every fault kind, aimed at the dumbbell bottleneck.
+    PLAN = {
+        "faults": [
+            dict(kind="link_flap", src="s0", dst="s1",
+                 start_s=100e-6, end_s=200e-6),
+            dict(kind="packet_corruption", src="s1", dst="s0",
+                 probability=0.05, start_s=50e-6, end_s=400e-6),
+            dict(kind="degraded_link", src="s0", dst="s1",
+                 start_s=250e-6, end_s=450e-6,
+                 bandwidth_factor=0.5, delay_factor=2.0),
+            dict(kind="pause_storm", src="h0", dst="s0",
+                 start_s=120e-6, end_s=180e-6),
+        ]
+    }
+
+    def _variant_cells(self):
+        """One IRN and one RoCE cell from the availability family."""
+        picked = {}
+        for label, config in _scaled_cells(
+            "availability_flap", num_flows=40, seed=1
+        ).items():
+            key = "irn" if "IRN" in label else "roce"
+            picked.setdefault(key, (label, config))
+        return picked.values()
+
+    def test_availability_cells_identical_across_cores(self, monkeypatch):
+        for label, config in self._variant_cells():
+            config = config.with_overrides(fault_plan=self.PLAN)
+            rows = {
+                queue: _row_for(config, queue, monkeypatch)
+                for queue in _all_cores()
+            }
+            reference = rows.pop("heap")
+            assert reference["faults_enabled"] is True
+            for queue, row in rows.items():
+                assert row == reference, f"{label} diverged on {queue}"

@@ -1,5 +1,7 @@
 """Tests for experiment configuration and the paper scenario presets."""
 
+import json
+
 import pytest
 
 from repro.core.factory import TransportKind
@@ -10,6 +12,7 @@ from repro.experiments.config import (
     TopologyKind,
     WorkloadKind,
 )
+from repro.faults import FaultPlan, LinkFlap, PacketCorruption
 
 
 class TestDerivedQuantities:
@@ -119,6 +122,69 @@ class TestAckCoalescingKnobs:
             ExperimentConfig(ack_coalesce_us=0.0)
         with pytest.raises(ValueError):
             ExperimentConfig(pacing_quantum_us=-1.0)
+
+
+class TestFaultPlanFingerprint:
+    """Fault plans and the cache-key contract.
+
+    A non-empty plan changes the simulated physics, so it must key its own
+    cache entries; an empty plan is physically inert and must collapse onto
+    the fault-free fingerprint so pre-fault-injection warm caches stay
+    valid.
+    """
+
+    PLAN = FaultPlan(
+        faults=(
+            LinkFlap(src="s0", dst="s1", start_s=1e-4, end_s=2e-4),
+            PacketCorruption(src="s1", dst="s0", probability=0.01),
+        )
+    )
+
+    def test_absent_plan_is_fingerprint_neutral(self):
+        payload = ExperimentConfig().to_canonical_dict()
+        assert "fault_plan" not in payload
+
+    def test_empty_plan_collapses_onto_fault_free_fingerprint(self):
+        # __post_init__ normalizes an empty plan to None, so the canonical
+        # dict (and hence the fingerprint) is identical to no plan at all.
+        empty = ExperimentConfig(fault_plan=FaultPlan())
+        assert empty.fault_plan is None
+        assert empty.fingerprint() == ExperimentConfig().fingerprint()
+
+    def test_non_empty_plan_changes_fingerprint(self):
+        base = ExperimentConfig()
+        faulted = ExperimentConfig(fault_plan=self.PLAN)
+        assert faulted.fingerprint() != base.fingerprint()
+        assert "fault_plan" in faulted.to_canonical_dict()
+
+    def test_different_plans_fingerprint_differently(self):
+        one = ExperimentConfig(fault_plan=self.PLAN)
+        other = ExperimentConfig(
+            fault_plan=FaultPlan(
+                faults=(LinkFlap(src="s0", dst="s1", start_s=1e-4, end_s=3e-4),)
+            )
+        )
+        assert one.fingerprint() != other.fingerprint()
+
+    def test_plan_round_trips_through_queue_wire_format(self):
+        # The work queue serializes configs with to_dict() -> JSON ->
+        # from_dict(); plans must survive with typed fault kinds and an
+        # unchanged fingerprint.
+        config = ExperimentConfig(fault_plan=self.PLAN)
+        wire = json.loads(json.dumps(config.to_dict()))
+        restored = ExperimentConfig.from_dict(wire)
+        assert restored.fingerprint() == config.fingerprint()
+        assert isinstance(restored.fault_plan, FaultPlan)
+        kinds = [type(fault) for fault in restored.fault_plan.faults]
+        assert kinds == [LinkFlap, PacketCorruption]
+
+    def test_plan_dict_is_coerced_on_construction(self):
+        config = ExperimentConfig(
+            fault_plan={"faults": [dict(kind="link_flap", src="a", dst="b",
+                                        start_s=0.0, end_s=1e-6)]}
+        )
+        assert isinstance(config.fault_plan, FaultPlan)
+        assert isinstance(config.fault_plan.faults[0], LinkFlap)
 
     def test_effective_window_respects_scheme_cap(self):
         # Timely needs per-packet RTT samples: the scheme metadata caps the

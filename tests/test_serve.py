@@ -378,3 +378,51 @@ class TestFollow:
         status, payload = get_json(server, "/scenarios/serve_tiny/follow")
         assert status == 409
         assert "--queue-dir" in payload["error"]
+
+
+class TestGracefulShutdown:
+    def test_healthz_is_cheap_and_ok(self, server):
+        status, payload = get_json(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "shutting_down": False}
+
+    def test_healthz_listed_in_index(self, server):
+        _, payload = get_json(server, "/")
+        assert "/healthz" in payload["endpoints"]
+
+    def test_request_shutdown_closes_follow_streams_and_stops(self, tmp_path, warm):
+        # An empty spool with expect=1 makes /follow poll indefinitely: the
+        # only way the stream below ends is the graceful-shutdown path
+        # flushing a final well-formed ``closed`` event before the accept
+        # loop exits.
+        cache_dir, _ = warm
+        TaskQueue(tmp_path / "q")
+        srv = make_server(
+            cache_dir, queue_dir=str(tmp_path / "q"), port=0, quiet=True
+        )
+        serve_thread = threading.Thread(target=srv.serve_forever, daemon=True)
+        serve_thread.start()
+        try:
+            port = srv.server_address[1]
+            stream = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/scenarios/serve_tiny/follow"
+                "?poll=0.05&expect=1"
+            )
+            hello = b""
+            while b"\n\n" not in hello:
+                hello += stream.read(1)
+            assert b"event: listening" in hello
+
+            srv.request_shutdown()
+            rest = stream.read()  # EOF only once the handler finished
+            assert b"event: closed" in rest
+            assert json.loads(
+                rest.decode().rsplit("data: ", 1)[1].split("\n")[0]
+            )["completed"] == 0
+
+            serve_thread.join(timeout=10)
+            assert not serve_thread.is_alive()
+            # Idempotent: a second request is a no-op, not a hang.
+            srv.request_shutdown()
+        finally:
+            srv.server_close()
