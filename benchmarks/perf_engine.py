@@ -22,6 +22,16 @@ each run under **both** scheduler cores (``queue="heap"`` and the default
   reduction* the transport-level batching delivers.
 * ``macro``      -- one full scaled-down Figure 1 IRN run, the end-to-end
   number the ROADMAP tracks.
+* ``wan_macro``  -- drain a WAN-BDP backlog: a million packet arrivals
+  scattered over two in-flight RTTs of a 1 ms long-haul path against a
+  0.32 us serialization quantum (a 100 GbE port on a 1000x-heterogeneous
+  inter-DC fabric).  Pure
+  engine, no fabric: this is the regime the hierarchical calendar exists
+  for, so it is additionally measured with the calendar forced to a single
+  level (``num_levels=1``) and reports ``speedup_hier`` -- hierarchical over
+  single-quantum throughput.  The single-quantum calendar parks nearly every
+  arrival in its far-future heap and degenerates to heap-core performance;
+  the guarded floor for the ratio is 3x.
 
 All cores execute identical event streams (asserted after every run), so
 the per-workload events/s values are directly comparable.  When the
@@ -55,11 +65,23 @@ import time
 from repro.sim.engine import Simulator
 
 #: Workloads whose calendar/heap speedup the CI guard checks.
-GUARDED_WORKLOADS = ("churn", "macro")
+GUARDED_WORKLOADS = ("churn", "macro", "wan_macro")
 
 #: Workloads whose ACK-coalescing event reduction the guard checks, and the
 #: floor it must clear (the PR's acceptance criterion).
 REDUCTION_GUARD = {"saturated": 0.30, "ack_heavy": 0.30}
+
+#: Workloads additionally measured with the calendar forced to one level
+#: (``num_levels=1``, the pre-hierarchy single-quantum calendar), reporting
+#: ``speedup_hier`` = hierarchical / single-quantum throughput.  ``macro``
+#: rides along to pin *parity* on a homogeneous fabric, where both layouts
+#: keep every event in the level-0 window.
+HIER_WORKLOADS = ("macro", "wan_macro")
+
+#: Absolute floor for ``speedup_hier`` per workload (None = report only).
+#: Same-machine ratio of two interleaved runs, so no tolerance applies; the
+#: wan_macro floor is the hierarchical-calendar acceptance criterion.
+HIER_GUARD = {"wan_macro": 3.0, "macro": None}
 
 
 def cores() -> tuple:
@@ -76,9 +98,9 @@ def cores() -> tuple:
 # Workloads
 # ---------------------------------------------------------------------------
 
-def churn(queue: str, num_events: int = 300_000, fanout: int = 4):
+def churn(queue: str, num_events: int = 300_000, fanout: int = 4, **sim_kwargs):
     """Self-sustaining event churn; returns ``(events, elapsed_s)``."""
-    sim = Simulator(seed=1, queue=queue)
+    sim = Simulator(seed=1, queue=queue, **sim_kwargs)
     state = {"remaining": num_events}
 
     def tick(depth: int) -> None:
@@ -98,10 +120,49 @@ def churn(queue: str, num_events: int = 300_000, fanout: int = 4):
     return sim.events_processed, time.perf_counter() - start
 
 
+def wan_macro(
+    queue: str,
+    population: int = 1_000_000,
+    horizon_s: float = 4e-3,
+    **sim_kwargs,
+):
+    """Drain a WAN-BDP backlog; returns ``(events, elapsed_s)``.
+
+    ``population`` packet arrivals are scattered over a ``horizon_s``
+    window -- two in-flight RTTs of a 1 ms long-haul path -- while the
+    calendar keeps its 0.32 us serialization quantum (100 GbE): the 1000x
+    delay-heterogeneity regime of an inter-DC fabric, where near-window
+    arrivals behave like intra-rack traffic and the bulk sits
+    propagation-delay away.  A golden-ratio
+    scatter decorrelates arrival order from firing order (like real packet
+    interleaving) without consuming RNG state.  Only the drain is on the
+    clock; the hierarchical layout absorbs the backlog in upper-level
+    buckets at O(1) per event where a single-level calendar pays a
+    far-future heap push *and* an O(log n) pop-per-event migration.
+    """
+    sim = Simulator(seed=1, queue=queue, bucket_width_s=0.32e-6, **sim_kwargs)
+    fired = [0]
+
+    def arrive() -> None:
+        fired[0] += 1
+
+    schedule_at = sim.schedule_at
+    phi = 0.6180339887498949
+    acc = 0.0
+    for _ in range(population):
+        acc += phi
+        schedule_at(horizon_s * (acc - int(acc)), arrive)
+    start = time.perf_counter()
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - start
+    assert fired[0] == population
+    return sim.events_processed, elapsed
+
+
 def _scenario_workload(config):
     """Build a ``(queue) -> (events, elapsed)`` runner for one experiment."""
 
-    def run(queue: str):
+    def run(queue: str, **sim_kwargs):
         from repro.experiments.runner import (
             _build_network,
             _FlowLauncher,
@@ -114,6 +175,7 @@ def _scenario_workload(config):
             seed=config.seed,
             queue=queue,
             bucket_width_s=bucket_width_for(config),
+            **sim_kwargs,
         )
         network = _build_network(sim, config)
         collector = MetricsCollector(
@@ -238,6 +300,7 @@ def workloads():
         "irn_timer": _scenario_workload(_irn_timer_config()),
         "ack_heavy": _scenario_workload(_ack_heavy_config()),
         "macro": _scenario_workload(_macro_config()),
+        "wan_macro": wan_macro,
     }
 
 
@@ -279,6 +342,7 @@ def measure(names=None, repeats: int = 3) -> dict:
     report: dict = {}
     for name, fn in table.items():
         rates = {queue: 0.0 for queue in active_cores}
+        flat_rate = 0.0
         events = {}
         # Interleave the cores so thermal/background drift hits all alike.
         for _ in range(repeats):
@@ -286,6 +350,13 @@ def measure(names=None, repeats: int = 3) -> dict:
                 n, elapsed = fn(queue)
                 events[queue] = n
                 rates[queue] = max(rates[queue], n / elapsed)
+            if name in HIER_WORKLOADS:
+                # Same pure-Python calendar pinned to one level: the
+                # pre-hierarchy single-quantum layout, byte-identical
+                # event order, so the ratio is pure data-structure cost.
+                n, elapsed = fn("calendar", num_levels=1)
+                events["calendar@1level"] = n
+                flat_rate = max(flat_rate, n / elapsed)
         if len(set(events.values())) != 1:
             raise SystemExit(
                 f"{name}: cores diverged ({events}) -- determinism bug"
@@ -296,6 +367,9 @@ def measure(names=None, repeats: int = 3) -> dict:
         row["speedup"] = rates["calendar"] / rates["heap"]
         if "calendar_c" in rates:
             row["speedup_c"] = rates["calendar_c"] / rates["heap"]
+        if name in HIER_WORKLOADS:
+            row["single_level_events_per_s"] = flat_rate
+            row["speedup_hier"] = rates["calendar"] / flat_rate
         if name in REDUCTION_CONFIGS:
             row.update(measure_reduction(name))
         report[name] = row
@@ -305,6 +379,8 @@ def measure(names=None, repeats: int = 3) -> dict:
         extra = ""
         if "ack_event_reduction" in row:
             extra = f"  ack-batching deletes {row['ack_event_reduction']:.1%} of events"
+        if "speedup_hier" in row:
+            extra += f"  hier/1-level x{row['speedup_hier']:.2f}"
         print(
             f"{name:<10} {columns}   x{row['speedup']:.2f}"
             f"  ({events['calendar']} events){extra}"
@@ -315,12 +391,15 @@ def measure(names=None, repeats: int = 3) -> dict:
 def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> list:
     """Return failure strings for guarded ratios below their floors.
 
-    Three guards: the calendar/heap speedup on :data:`GUARDED_WORKLOADS`
+    Four guards: the calendar/heap speedup on :data:`GUARDED_WORKLOADS`
     (vs the checked-in baseline), the compiled-core speedup on the same
     workloads when both the extension and a baseline column are present,
-    and the absolute ACK-batching event reduction on
-    :data:`REDUCTION_GUARD` workloads (a fixed floor -- deterministic
-    event counts, no machine-speed term, so no tolerance applies).
+    the absolute ACK-batching event reduction on :data:`REDUCTION_GUARD`
+    workloads (a fixed floor -- deterministic event counts, no
+    machine-speed term, so no tolerance applies), and the absolute
+    hierarchical/single-quantum ``speedup_hier`` floors in
+    :data:`HIER_GUARD` (two interleaved runs of the same interpreter on
+    the same machine, so no tolerance applies there either).
     """
     failures = []
     base_workloads = baseline.get("workloads", {})
@@ -344,6 +423,15 @@ def check_against_baseline(report: dict, baseline: dict, tolerance: float) -> li
             failures.append(
                 f"{name}: ack-batching event reduction {measured:.1%} fell "
                 f"below the {floor:.0%} floor"
+            )
+    for name, floor in HIER_GUARD.items():
+        if floor is None:
+            continue
+        measured = report.get(name, {}).get("speedup_hier")
+        if measured is not None and measured < floor:
+            failures.append(
+                f"{name}: hierarchical/single-quantum speedup {measured:.2f} "
+                f"fell below the {floor:.1f}x floor"
             )
     return failures
 

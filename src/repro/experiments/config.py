@@ -134,6 +134,13 @@ class ExperimentConfig:
     ring_switches: int = 3
     link_bandwidth_bps: float = 10e9
     link_delay_s: float = 1e-6
+    #: Long-haul propagation delay for the WAN topologies (``wan_dumbbell``'s
+    #: inter-switch bottleneck, ``inter_dc_fattree``'s core-to-core links).
+    #: The default is 1 ms -- 1000x the intra-DC ``link_delay_s`` default,
+    #: roughly 200 km of fiber.  Homogeneous topologies never read it, and
+    #: the default is dropped from the canonical serialization (like
+    #: ``ring_switches``) so its introduction left existing caches valid.
+    wan_delay_s: float = 1e-3
 
     # --- switch / PFC -------------------------------------------------------
     pfc_enabled: bool = True
@@ -228,6 +235,13 @@ class ExperimentConfig:
     #: ``False`` default is excluded, keeping old caches valid), and a
     #: digest-collecting sweep never gets served digest-less rows.
     fabric_digests: bool = False
+    #: Collect per-flow c-latency ratios (FCT divided by the speed-of-light
+    #: lower bound: the path's one-way propagation delay from the topology's
+    #: hop delays), the "Towards a Speed of Light Internet" metric for
+    #: propagation-dominated fabrics.  Streaming digest only (no event,
+    #: ordering or RNG impact), but like ``fabric_digests`` it changes what
+    #: the cached row carries, so it joins the fingerprint once enabled.
+    c_latency_ratios: bool = False
     #: Deterministic fault schedule (:class:`repro.faults.FaultPlan`).
     #: ``None`` -- and an *empty* plan, which normalizes to ``None`` -- run
     #: fault-free and are excluded from the canonical serialization, so the
@@ -295,9 +309,22 @@ class ExperimentConfig:
         """Longest-path hop count, from the registered topology's metadata."""
         return TOPOLOGIES.get(self.topology).max_hop_count(self)
 
+    def path_delay_s(self) -> float:
+        """One-way propagation delay of the longest host-to-host path.
+
+        Homogeneous topologies derive it as ``max_hop_count * link_delay_s``;
+        WAN topologies override it through their registry metadata
+        (:attr:`~repro.topology.registry.TopologyBuilder.path_delay_s`) so
+        RTO and BDP derivations stay sane under 1000x delay heterogeneity.
+        """
+        delay = TOPOLOGIES.get(self.topology).path_delay_s
+        if delay is not None:
+            return delay(self)
+        return self.max_hop_count() * self.link_delay_s
+
     def base_rtt_s(self) -> float:
         """Unloaded round-trip propagation time of the longest path."""
-        return 2.0 * self.max_hop_count() * self.link_delay_s
+        return 2.0 * self.path_delay_s()
 
     def bdp_bytes(self) -> int:
         """Bandwidth-delay product of the longest path."""
@@ -337,7 +364,7 @@ class ExperimentConfig:
         the other input-port buffers of that switch completely full)."""
         if self.rto_high_s is not None:
             return self.rto_high_s
-        one_way_prop = self.max_hop_count() * self.link_delay_s
+        one_way_prop = self.path_delay_s()
         buffer_drain = self.effective_buffer_bytes() * 8.0 / self.link_bandwidth_bps
         return one_way_prop + max(1, self.switch_radix() - 1) * buffer_drain
 
@@ -479,6 +506,10 @@ class ExperimentConfig:
             del payload["fabric_digests"]
         if payload.get("ring_switches") == 3:
             del payload["ring_switches"]
+        if payload.get("wan_delay_s") == 1e-3:
+            del payload["wan_delay_s"]
+        if not payload.get("c_latency_ratios"):
+            del payload["c_latency_ratios"]
         if payload.get("ack_coalesce_n") == 1:
             # Coalescing off: the run is byte-identical to the pre-knob
             # per-packet ACK stream, so both keys (the then-irrelevant

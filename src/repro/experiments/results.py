@@ -118,6 +118,10 @@ class ResultRow:
     #: fault-free rows.
     goodput_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
     stall_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
+    #: Per-flow c-latency ratios -- FCT over the path's speed-of-light
+    #: propagation bound (``ExperimentConfig.c_latency_ratios``).  ``None``
+    #: when the run did not collect them.
+    c_latency_digest: Optional[Dict[str, Any]] = field(default=None, hash=False)
 
     # ------------------------------------------------------------------
     # ExperimentResult-compatible views
@@ -215,6 +219,15 @@ class ResultRow:
             else None
         )
 
+    @cached_property
+    def c_latency_distribution(self) -> Optional[QuantileDigest]:
+        """Per-flow c-latency-ratio digest (``None`` unless collected)."""
+        return (
+            QuantileDigest.from_dict(self.c_latency_digest)
+            if self.c_latency_digest
+            else None
+        )
+
     @property
     def single_packet_count(self) -> int:
         """Completed single-packet messages (0 when the digest is absent)."""
@@ -253,6 +266,7 @@ class ResultRow:
         fabric_pause = result.collector.fabric_pfc_pause_digest()
         goodput = result.collector.goodput_timeline_digest()
         stall = result.collector.flow_stall_digest()
+        c_latency = result.collector.c_latency_digest()
         return cls(
             label=label if label is not None else config.name,
             name=config.name,
@@ -300,6 +314,7 @@ class ResultRow:
             ),
             goodput_digest=goodput.to_dict() if goodput is not None else None,
             stall_digest=stall.to_dict() if stall is not None else None,
+            c_latency_digest=c_latency.to_dict() if c_latency is not None else None,
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -282,6 +282,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     )
     if config.fabric_digests:
         collector.install_fabric_probes()
+    if config.c_latency_ratios:
+        collector.install_c_latency_probe()
     # The deadlock detector is pure observation (no events, no randomness),
     # so it is always on -- the paper's §2 CBD pathology should never be
     # able to hide behind a disabled knob.

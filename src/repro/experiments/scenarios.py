@@ -543,6 +543,69 @@ _paper_scenario(
 
 
 # ---------------------------------------------------------------------------
+# Propagation-dominated (WAN) fabrics
+# ---------------------------------------------------------------------------
+# The paper's evaluation is intra-DC (homogeneous microsecond hops); these
+# scenarios re-ask its IRN-vs-RoCE question on fabrics where propagation
+# dominates -- the "Towards a Speed of Light Internet" regime.  Both use the
+# per-link delay overrides (``wan_delay_s``) of the WAN topologies, collect
+# c-latency-ratio digests (FCT over the speed-of-light bound), and sweep the
+# delay heterogeneity from 100x to 1000x the intra-DC hop -- the workloads
+# whose event mix exercises the hierarchical calendar's upper levels.
+
+
+def _wan_delay_rows(delays_s: Iterable[float]) -> Dict[str, Dict[str, Any]]:
+    """One row per long-haul delay (labeled as the ratio to the 1 us hop)."""
+    return {
+        f"{int(delay / 1e-6)}x": {"wan_delay_s": delay} for delay in delays_s
+    }
+
+
+_paper_scenario(
+    "wan_incast",
+    "WAN incast: fan-in across a long-haul dumbbell bottleneck, IRN vs RoCE",
+    {
+        "RoCE (with PFC)": _scheme("roce", pfc=True),
+        "IRN (without PFC)": _scheme("irn", pfc=False),
+    },
+    rows=_wan_delay_rows((100e-6, 1e-3)),
+    defaults=dict(
+        topology="wan_dumbbell",
+        num_hosts=8,
+        workload="none",
+        num_flows=0,
+        c_latency_ratios=True,
+        incast={
+            "total_bytes": 1_000_000,
+            "fan_in": 6,
+            "destination": "h0",
+            "start_time": 0.0,
+        },
+    ),
+    cell_label="{variant} {row}",
+    seeds=(1, 2, 3),
+)
+
+_paper_scenario(
+    "cross_dc",
+    "Cross-DC traffic: two fat-tree DCs over a long haul, IRN vs RoCE",
+    {
+        "RoCE (with PFC)": _scheme("roce", pfc=True),
+        "IRN (without PFC)": _scheme("irn", pfc=False),
+    },
+    rows=_wan_delay_rows((100e-6, 1e-3)),
+    defaults=dict(
+        topology="inter_dc_fattree",
+        fat_tree_k=4,
+        num_flows=150,
+        c_latency_ratios=True,
+    ),
+    cell_label="{variant} {row}",
+    seeds=(1, 2, 3),
+)
+
+
+# ---------------------------------------------------------------------------
 # Legacy builder functions
 # ---------------------------------------------------------------------------
 # Thin wrappers over the registered specs, kept with their historical

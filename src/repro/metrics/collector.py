@@ -123,6 +123,12 @@ class MetricsCollector:
         #: covers one workload group (``Flow.group``).
         self.streams: Dict[Optional[str], GroupStats] = {None: GroupStats()}
         self._ideal_cache: Dict[int, float] = {}
+        #: Per-flow one-way propagation delay (filled alongside the ideal-FCT
+        #: cache; the speed-of-light denominator of the c-latency ratio).
+        self._prop_cache: Dict[int, float] = {}
+        #: Per-flow c-latency ratio digest; ``None`` until
+        #: :meth:`install_c_latency_probe` attaches it.
+        self._c_latency_digest: Optional[QuantileDigest] = None
         #: Per-switch queue-depth digests, in switch order; ``None`` until
         #: :meth:`install_fabric_probes` attaches them.
         self._switch_depth_digests: Optional[List[QuantileDigest]] = None
@@ -152,6 +158,7 @@ class MetricsCollector:
         pipeline = (hops - 1) * per_hop_packet if hops > 1 else 0.0
         ideal = transmission + prop_delay + pipeline
         self._ideal_cache[flow.flow_id] = ideal
+        self._prop_cache[flow.flow_id] = prop_delay
         return ideal
 
     def on_flow_complete(self, flow: Flow, now: float) -> None:
@@ -163,6 +170,13 @@ class MetricsCollector:
             self.records.append(record)
         single_packet = flow.num_packets(self.mtu_bytes) == 1
         self.streams[None].observe(record.fct, record.slowdown, single_packet)
+        if self._c_latency_digest is not None:
+            # ``ideal_fct`` above filled the propagation cache for this flow.
+            prop = self._prop_cache.get(flow.flow_id, 0.0)
+            if prop > 0:
+                ratio = record.fct / prop
+                if math.isfinite(ratio):
+                    self._c_latency_digest.add(ratio)
         group_stats = self.streams.get(flow.group)
         if group_stats is None:
             group_stats = self.streams[flow.group] = GroupStats()
@@ -193,6 +207,24 @@ class MetricsCollector:
             digest = QuantileDigest()
             port.pause_digest = digest
             self._port_pause_digests.append(digest)
+
+    def install_c_latency_probe(self) -> None:
+        """Attach the c-latency-ratio digest (§"Speed of Light Internet").
+
+        Every completed flow contributes ``FCT / path propagation delay`` --
+        its completion time over the speed-of-light lower bound implied by
+        the topology's hop delays.  On propagation-dominated (WAN) fabrics
+        this is the headline tail metric; on intra-DC fabrics it is
+        serialization-dominated and mostly tracks slowdown.  Pure
+        observation, like the fabric probes: no events, no randomness.
+        Call once, before the run (enabled by
+        ``ExperimentConfig.c_latency_ratios``).
+        """
+        self._c_latency_digest = QuantileDigest()
+
+    def c_latency_digest(self) -> Optional[QuantileDigest]:
+        """Per-flow c-latency ratios (``None`` unless the probe is installed)."""
+        return self._c_latency_digest
 
     def install_deadlock_detector(self):
         """Attach a :class:`~repro.sim.deadlock.PfcDeadlockDetector` fabric-wide.

@@ -69,6 +69,11 @@ DIGEST_COLUMNS: Tuple[Tuple[str, str, str, Tuple[Tuple[float, str], ...],
      ((0.50, "p50"), (0.99, "p99")), None, None),
     ("stall_digest", "flow_stall", "s",
      ((0.50, "p50"), (0.99, "p99")), None, "flow_stall_total_s"),
+    # c-latency ratios (collected when ``ExperimentConfig.c_latency_ratios``
+    # is set): per-flow FCT over the path's speed-of-light propagation
+    # bound -- the propagation-dominated fabrics' headline tail metric.
+    ("c_latency_digest", "c_latency", "ratio",
+     ((0.50, "p50"), (0.99, "p99"), (0.999, "p999")), None, None),
 )
 
 #: Counters summed per cell only when some absorbed row was fault-enabled

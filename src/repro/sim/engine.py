@@ -2,11 +2,17 @@
 
 Two interchangeable scheduler cores sit behind one :class:`Simulator` front:
 
-* ``queue="calendar"`` (the default) -- a bucketed **calendar queue** keyed on
-  link-delay quanta.  Near-future events append to fixed-width time buckets
-  (O(1)); each bucket is sorted once when the clock reaches it.  Events beyond
-  the bucketed window live in a heap-backed *overflow band* and migrate into
-  buckets as the window rotates forward.  A dedicated **hashed timer wheel**
+* ``queue="calendar"`` (the default) -- a **hierarchical calendar queue**
+  keyed on link-delay quanta.  Near-future events append to fixed-width time
+  buckets (O(1)); each bucket is sorted once when the clock reaches it.
+  Above level 0 sit up to ``num_levels - 1`` further bucket arrays with
+  geometrically wider buckets (each level ``num_buckets`` times wider than
+  the one below), so propagation-scale horizons -- WAN links hundreds to
+  thousands of serialization quanta long -- are still O(1) appends; a slot
+  *cascades* down one level when its window approaches.  Only events beyond
+  the top level's horizon live in a heap-backed *far-future band* and
+  migrate into the hierarchy as the windows rotate forward.  A dedicated
+  **hashed timer wheel**
   stages cancellable timers (:meth:`Simulator.set_timer`): cancellation is an
   O(1) mark and cancelled timers are dropped wholesale when their wheel slot
   is flushed -- the set-then-cancel retransmission pattern of the transports
@@ -45,6 +51,13 @@ DEFAULT_BUCKET_WIDTH_S = 1e-6
 
 #: Default number of calendar buckets (rounded up to a power of two).
 DEFAULT_NUM_BUCKETS = 256
+
+#: Default number of hierarchical calendar levels.  With 256 buckets and a
+#: ~3 us batch quantum, level 0 spans ~0.8 ms, level 1 ~0.2 s and level 2
+#: ~54 s -- WAN propagation delays land in level 1 as O(1) appends instead
+#: of overflow-heap pushes.  ``num_levels=1`` is the pre-hierarchy
+#: single-quantum calendar, bit for bit.
+DEFAULT_NUM_LEVELS = 3
 
 #: Default timer-wheel slot width.  Retransmission timeouts are 100us-64ms,
 #: so a 64us slot keeps the wheel shallow while still batching cancellations.
@@ -98,10 +111,13 @@ class Simulator:
         Scheduler core: ``"calendar"`` (default) or ``"heap"``.  ``None``
         reads the ``REPRO_ENGINE`` environment variable before falling back
         to the default.  Both cores execute identical event orders.
-    bucket_width_s, num_buckets, wheel_slot_s:
-        Calendar-core tuning knobs (ignored by the heap core): bucket width
-        in seconds (ideally one link-delay quantum), bucket count (rounded to
-        a power of two), and timer-wheel slot width.
+    bucket_width_s, num_buckets, wheel_slot_s, num_levels:
+        Calendar-core tuning knobs (ignored by the heap core): level-0 bucket
+        width in seconds (ideally one link-delay quantum), per-level bucket
+        count (rounded to a power of two), timer-wheel slot width, and the
+        number of hierarchical calendar levels (each level's buckets are
+        ``num_buckets`` times wider than the level below; ``1`` selects the
+        flat single-quantum calendar).
     """
 
     #: Name of the scheduler core (``"heap"`` / ``"calendar"`` /
@@ -141,6 +157,7 @@ class Simulator:
         bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
         num_buckets: int = DEFAULT_NUM_BUCKETS,
         wheel_slot_s: float = DEFAULT_WHEEL_SLOT_S,
+        num_levels: int = DEFAULT_NUM_LEVELS,
     ) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
@@ -370,25 +387,46 @@ class _HeapSimulator(Simulator):
 
 
 class _CalendarSimulator(Simulator):
-    """Calendar-queue core with an overflow band and a hashed timer wheel.
+    """Hierarchical calendar-queue core with a far-future band and a hashed
+    timer wheel.
 
     Three bands, by event horizon:
 
-    * **buckets** -- fixed-width time buckets covering the rotating window
-      ``(win_lo, win_hi)`` of bucket indices.  Insertion is an O(1) append;
-      a bucket is sorted (by the shared ``(time, seq)`` key) only when the
-      clock reaches it.  The bucket currently draining (``_cur``) stays
-      sorted, so same-time insertions during callbacks ``insort`` into it.
-    * **overflow** -- a heap for events beyond the window (workload arrivals,
-      far-future timers flushed early).  When the window empties, the window
-      is rebased onto the overflow head and near-future events migrate into
-      buckets.
+    * **levels** -- ``num_levels`` cascading bucket arrays.  Level 0 is the
+      classic calendar: fixed-width time buckets covering the rotating
+      window ``(win_lo, win_hi)`` of bucket indices.  Each level above it
+      uses buckets ``num_buckets`` times wider than the level below, so one
+      top-level window spans ``num_buckets ** num_levels`` level-0 quanta.
+      Every level index is the level-0 index (``int(time * inv_width)``)
+      shifted right by ``k * level`` bits (``num_buckets == 2**k``) -- one
+      shared float computation, so cross-level boundaries are exact and
+      insertion/cascade routing can never disagree by one ulp.  Insertion
+      is an O(1) append at whichever level's window covers the event; a
+      bucket is sorted (by the shared ``(time, seq)`` key) only when the
+      clock reaches it.  The level-0 bucket currently draining (``_cur``)
+      stays sorted, so same-time insertions during callbacks ``insort``
+      into it.  When level 0 empties, the minimal occupied slot of the
+      lowest non-empty level *cascades* down one level (rebasing the window
+      below to exactly cover it), repeating until level 0 refills.
+    * **far-future band** -- a heap for events beyond the top level's window
+      (with the default three levels, tens of simulated seconds out).  When
+      every level empties, the windows are rebased onto the heap's head and
+      everything inside the new top window migrates directly to its final
+      level.
     * **wheel** -- a hashed timer wheel (``dict`` of slot -> list) staging
       :meth:`set_timer` timers.  A slot is flushed into the calendar only
       when execution is about to pass its start time; timers cancelled
       before then -- the overwhelmingly common case for retransmission
       timers -- are dropped during the flush without ever entering the
       sorted bands.
+
+    Window invariant linking the levels: ``win_hi[lvl-1] >= (win_lo[lvl] +
+    1) << k`` (equality after every cascade/rebase), so any event refused by
+    level ``lvl-1``'s window provably lies past level ``lvl``'s floor and
+    the insertion loop only has to check upper bounds.  The bands are
+    strictly time-ordered -- every level-``lvl`` event precedes every
+    level-``lvl+1`` event precedes the far-future heap -- which is what
+    makes cascading the minimal slot always the correct progress step.
 
     Execution order is identical to the heap core: every pop yields the
     globally minimal ``(time, seq)``.
@@ -404,6 +442,7 @@ class _CalendarSimulator(Simulator):
         bucket_width_s: float = DEFAULT_BUCKET_WIDTH_S,
         num_buckets: int = DEFAULT_NUM_BUCKETS,
         wheel_slot_s: float = DEFAULT_WHEEL_SLOT_S,
+        num_levels: int = DEFAULT_NUM_LEVELS,
     ) -> None:
         super().__init__(seed, queue)
         if bucket_width_s <= 0:
@@ -412,6 +451,8 @@ class _CalendarSimulator(Simulator):
             raise ValueError("wheel_slot_s must be positive")
         if num_buckets < 1:
             raise ValueError("num_buckets must be positive")
+        if num_levels < 1:
+            raise ValueError("num_levels must be positive")
         nb = 1
         while nb < num_buckets:
             nb *= 2
@@ -432,6 +473,24 @@ class _CalendarSimulator(Simulator):
         self._win_hi = nb - 1
         self._cur: list[Event] = []
         self._cur_idx = 0
+        # Hierarchy ----------------------------------------------------
+        #: Bits between adjacent level indices (level-lvl index is the
+        #: level-0 index >> (_shift * lvl)).  A 1-bucket calendar has no
+        #: index bit to shift, so the hierarchy degenerates to one level.
+        self._shift = nb.bit_length() - 1
+        self.num_levels = num_levels if self._shift else 1
+        self._num_levels = self.num_levels
+        nlv = self._num_levels
+        #: Per upper level (index 0 unused): bucket array, occupied-slot
+        #: min-heap, event count, and the (lo, hi)-exclusive window in that
+        #: level's index units.  Initial windows mirror level 0's.
+        self._hi_buckets: list[list[list[Event]]] = [
+            [[] for _ in range(nb)] if lvl else [] for lvl in range(nlv)
+        ]
+        self._hi_heads: list[list[int]] = [[] for _ in range(nlv)]
+        self._hi_counts: list[int] = [0] * nlv
+        self._hi_lo: list[int] = [-1] * nlv
+        self._hi_hi: list[int] = [nb - 1] * nlv
         self._overflow: list[Event] = []
         # Timer wheel --------------------------------------------------
         self._inv_wheel = 1.0 / wheel_slot_s
@@ -465,7 +524,7 @@ class _CalendarSimulator(Simulator):
                 bucket.append(event)
                 self._num_bucketed += 1
             else:
-                heapq.heappush(self._overflow, event)
+                self._insert_high(event, idx)
         else:
             insort(self._cur, event, lo=self._cur_idx)
         self._since_sweep += 1
@@ -511,9 +570,30 @@ class _CalendarSimulator(Simulator):
                 bucket.append(event)
                 self._num_bucketed += 1
             else:
-                heapq.heappush(self._overflow, event)
+                self._insert_high(event, idx)
         else:
             insort(self._cur, event, lo=self._cur_idx)
+
+    def _insert_high(self, event: Event, idx: int) -> None:
+        """Route an event past the level-0 window into the first upper level
+        whose window still covers it, else the far-future heap.
+
+        Only upper bounds are checked: ``idx >= win_hi[lvl-1]`` (the reason
+        we are here) already implies ``(idx >> k) > win_lo[lvl]`` via the
+        window invariant, so a single comparison per level routes exactly.
+        """
+        k = self._shift
+        hi = self._hi_hi
+        for lvl in range(1, self._num_levels):
+            hidx = idx >> (k * lvl)
+            if hidx < hi[lvl]:
+                bucket = self._hi_buckets[lvl][hidx & self._mask]
+                if not bucket:
+                    heapq.heappush(self._hi_heads[lvl], hidx)
+                bucket.append(event)
+                self._hi_counts[lvl] += 1
+                return
+        heapq.heappush(self._overflow, event)
 
     # ------------------------------------------------------------------
     # Wheel flushing and window rotation
@@ -524,10 +604,16 @@ class _CalendarSimulator(Simulator):
         pay-off lands)."""
         heads = self._wheel_heads
         wheel = self._wheel
-        limit = int(time * self._inv_wheel)
+        inv_wheel = self._inv_wheel
         heappop = heapq.heappop
         insert = self._insert
-        while heads and heads[0] <= limit:
+        # Due-ness is judged with the exact arithmetic that produced
+        # ``_wheel_next_due`` (slot / inv_wheel).  Deriving a slot *limit*
+        # via ``int(time * inv_wheel)`` instead can round one slot low when
+        # ``time`` equals a slot boundary, leaving the due head unflushed --
+        # and the caller spinning, since ``_wheel_next_due`` would be
+        # recomputed unchanged.
+        while heads and heads[0] / inv_wheel <= time:
             slot = heappop(heads)
             for event in wheel.pop(slot, ()):
                 self._wheel_count -= 1
@@ -539,39 +625,188 @@ class _CalendarSimulator(Simulator):
                 self._wheel_flushed_thru = slot
         self._wheel_next_due = heads[0] / self._inv_wheel if heads else _INF
 
+    def _load_bucket(self) -> None:
+        """Pop the next occupied level-0 bucket into ``_cur`` (the caller
+        has checked ``_num_bucketed``)."""
+        buckets = self._buckets
+        mask = self._mask
+        heads = self._bucket_heads
+        heappop = heapq.heappop
+        while heads:
+            i = heappop(heads)
+            # Stale-head checks: an index at or below win_lo is from a
+            # bucket consumed or swept before a window rebase -- its slot
+            # may since have been refilled by an ALIASED in-window index
+            # (i' != i, i' & mask == i & mask), so the emptiness of the
+            # slot alone is not proof of liveness.  The aliased index has
+            # its own head entry, so dropping the stale one loses nothing.
+            if i <= self._win_lo:
+                continue
+            lst = buckets[i & mask]
+            if not lst:
+                continue  # emptied by a sweep within the current window
+            buckets[i & mask] = []
+            self._num_bucketed -= len(lst)
+            if len(lst) > 1:
+                lst.sort()
+            self._win_lo = i
+            self._cur = lst
+            self._cur_idx = 0
+            return
+        raise RuntimeError(
+            "calendar-queue invariant violated: bucketed events not found in window"
+        )
+
+    def _cascade(self) -> bool:
+        """Bring the minimal occupied slot of the lowest non-empty upper
+        level down one level -- its window is about to be entered.
+
+        The window of the level below is rebased to exactly cover the popped
+        slot (restoring the invariant ``win_hi[lvl-1] == (win_lo[lvl] + 1)
+        << k``) and the slot's events are redistributed by the same
+        ``int(time * inv_width)`` + shift computation insertion used, so
+        each lands in the slot insertion would have chosen.  Cancelled
+        events are discarded here instead of travelling down.  Nothing
+        executes during a cascade chain, so no insertion can observe an
+        intermediate window state.  Returns ``False`` when every upper
+        level is empty.
+        """
+        counts = self._hi_counts
+        nlv = self._num_levels
+        lvl = 1
+        while lvl < nlv and not counts[lvl]:
+            lvl += 1
+        if lvl == nlv:
+            return False
+        heads = self._hi_heads[lvl]
+        buckets = self._hi_buckets[lvl]
+        mask = self._mask
+        heappop = heapq.heappop
+        lo = self._hi_lo[lvl]
+        lst = None
+        while heads:
+            j = heappop(heads)
+            if j <= lo:
+                continue  # stale head (see _load_bucket)
+            lst = buckets[j & mask]
+            if lst:
+                break
+        if not lst:
+            raise RuntimeError(
+                "calendar-queue invariant violated: leveled events not found in window"
+            )
+        buckets[j & mask] = []
+        counts[lvl] -= len(lst)
+        self._hi_lo[lvl] = j
+        k = self._shift
+        inv_width = self._inv_width
+        heappush = heapq.heappush
+        cancelled = 0
+        added = 0
+        if lvl == 1:
+            self._win_lo = (j << k) - 1
+            self._win_hi = (j + 1) << k
+            below = self._buckets
+            below_heads = self._bucket_heads
+            for event in lst:
+                if event.cancelled:
+                    cancelled += 1
+                    continue
+                idx = int(event.time * inv_width)
+                bucket = below[idx & mask]
+                if not bucket:
+                    heappush(below_heads, idx)
+                bucket.append(event)
+                added += 1
+            self._num_bucketed += added
+        else:
+            self._hi_lo[lvl - 1] = (j << k) - 1
+            self._hi_hi[lvl - 1] = (j + 1) << k
+            shift = k * (lvl - 1)
+            below = self._hi_buckets[lvl - 1]
+            below_heads = self._hi_heads[lvl - 1]
+            for event in lst:
+                if event.cancelled:
+                    cancelled += 1
+                    continue
+                idx = int(event.time * inv_width) >> shift
+                bucket = below[idx & mask]
+                if not bucket:
+                    heappush(below_heads, idx)
+                bucket.append(event)
+                added += 1
+            counts[lvl - 1] += added
+        self._events_cancelled += cancelled
+        return True
+
+    def _rebase(self, head_time: float) -> None:
+        """Rebase every level's window onto the far-future head and migrate
+        the heap's near-horizon events into the hierarchy.
+
+        The migration bound uses the exact insertion computation
+        (``int(time * inv_width)`` plus integer shifts) so float rounding
+        can never place an event in a slot outside the scanned windows.
+        With more than one level the top window spans ``nb**num_levels``
+        level-0 buckets, so almost everything leaves the heap in one pass --
+        each event landing directly at its final level -- and the heap keeps
+        only the true far future.
+        """
+        inv_width = self._inv_width
+        idx0 = int(head_time * inv_width)
+        k = self._shift
+        nlv = self._num_levels
+        top = nlv - 1
+        self._win_lo = idx0 - 1
+        for lvl in range(1, nlv):
+            h = idx0 >> (k * lvl)
+            self._hi_lo[lvl] = h
+            if lvl == 1:
+                self._win_hi = (h + 1) << k
+            else:
+                self._hi_hi[lvl - 1] = (h + 1) << k
+        top_shift = k * top
+        top_hi = (idx0 >> top_shift) + self._nb - 1
+        if top:
+            self._hi_hi[top] = top_hi
+        else:
+            self._win_hi = top_hi
+        overflow = self._overflow
+        buckets = self._buckets
+        mask = self._mask
+        win_hi = self._win_hi
+        heads = self._bucket_heads
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        insert_high = self._insert_high
+        while overflow and (int(overflow[0].time * inv_width) >> top_shift) < top_hi:
+            event = heappop(overflow)
+            if event.cancelled:
+                self._events_cancelled += 1
+                continue
+            idx = int(event.time * inv_width)
+            if idx < win_hi:
+                bucket = buckets[idx & mask]
+                if not bucket:
+                    heappush(heads, idx)
+                bucket.append(event)
+                self._num_bucketed += 1
+            else:
+                insert_high(event, idx)
+
     def _step_sources(self) -> bool:
         """Make progress when ``_cur`` is exhausted: load the next non-empty
-        bucket, rebase the window onto the overflow band, or flush the next
-        due wheel slot.  Returns ``False`` only when every band is empty."""
+        level-0 bucket, cascade the lowest occupied upper level down, rebase
+        the windows onto the far-future band, or flush the next due wheel
+        slot.  Returns ``False`` only when every band is empty."""
         if self._num_bucketed:
-            buckets = self._buckets
-            mask = self._mask
-            heads = self._bucket_heads
-            heappop = heapq.heappop
-            while heads:
-                i = heappop(heads)
-                # Stale-head checks: an index at or below win_lo is from a
-                # bucket consumed or swept before a window rebase -- its slot
-                # may since have been refilled by an ALIASED in-window index
-                # (i' != i, i' & mask == i & mask), so the emptiness of the
-                # slot alone is not proof of liveness.  The aliased index has
-                # its own head entry, so dropping the stale one loses nothing.
-                if i <= self._win_lo:
-                    continue
-                lst = buckets[i & mask]
-                if not lst:
-                    continue  # emptied by a sweep within the current window
-                buckets[i & mask] = []
-                self._num_bucketed -= len(lst)
-                if len(lst) > 1:
-                    lst.sort()
-                self._win_lo = i
-                self._cur = lst
-                self._cur_idx = 0
+            self._load_bucket()
+            return True
+        while self._cascade():
+            # A cascaded slot can be all-cancelled; keep pulling until
+            # level 0 has a live load or the upper levels run dry.
+            if self._num_bucketed:
+                self._load_bucket()
                 return True
-            raise RuntimeError(
-                "calendar-queue invariant violated: bucketed events not found in window"
-            )
         overflow = self._overflow
         while overflow and overflow[0].cancelled:
             heapq.heappop(overflow)
@@ -579,32 +814,7 @@ class _CalendarSimulator(Simulator):
         if overflow:
             head_time = overflow[0].time
             if head_time < self._wheel_next_due:
-                # Rebase the window so the overflow head lands in its first
-                # bucket, then migrate everything near-future out of the heap.
-                new_lo = int(head_time * self._inv_width)
-                self._win_lo = new_lo - 1
-                win_hi = new_lo + self._nb - 1
-                self._win_hi = win_hi
-                inv_width = self._inv_width
-                buckets = self._buckets
-                mask = self._mask
-                heappop = heapq.heappop
-                # The migration bound uses the exact insertion computation
-                # (int(time * inv_width)) so float rounding can never place
-                # an event in a slot outside the scanned window.
-                heappush = heapq.heappush
-                heads = self._bucket_heads
-                while overflow and int(overflow[0].time * inv_width) < win_hi:
-                    event = heappop(overflow)
-                    if event.cancelled:
-                        self._events_cancelled += 1
-                        continue
-                    idx = int(event.time * inv_width)
-                    bucket = buckets[idx & mask]
-                    if not bucket:
-                        heappush(heads, idx)
-                    bucket.append(event)
-                    self._num_bucketed += 1
+                self._rebase(head_time)
                 return True
             self._flush_wheel(self._wheel_next_due)
             return True
@@ -665,6 +875,9 @@ class _CalendarSimulator(Simulator):
         dead += sum(1 for e in self._cur[self._cur_idx:] if e.cancelled)
         for lst in self._buckets:
             dead += sum(1 for e in lst if e.cancelled)
+        for lvl in range(1, self._num_levels):
+            for lst in self._hi_buckets[lvl]:
+                dead += sum(1 for e in lst if e.cancelled)
         dead += sum(1 for e in self._overflow if e.cancelled)
         for lst in self._wheel.values():
             dead += sum(1 for e in lst if e.cancelled)
@@ -680,6 +893,13 @@ class _CalendarSimulator(Simulator):
             if lst:
                 self._buckets[slot] = [e for e in lst if not e.cancelled]
         self._num_bucketed = sum(len(lst) for lst in self._buckets)
+        for lvl in range(1, self._num_levels):
+            blist = self._hi_buckets[lvl]
+            for slot in range(len(blist)):
+                lst = blist[slot]
+                if lst:
+                    blist[slot] = [e for e in lst if not e.cancelled]
+            self._hi_counts[lvl] = sum(len(lst) for lst in blist)
         live_overflow = [e for e in self._overflow if not e.cancelled]
         heapq.heapify(live_overflow)
         self._overflow = live_overflow
@@ -706,6 +926,7 @@ class _CalendarSimulator(Simulator):
             len(self._cur)
             - self._cur_idx
             + self._num_bucketed
+            + sum(self._hi_counts)
             + len(self._overflow)
             + self._wheel_count
         )

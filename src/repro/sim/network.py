@@ -132,6 +132,18 @@ class Network:
         """(bandwidth, propagation delay) of the connection ``a -> b``."""
         return self._link_params[(a_name, b_name)]
 
+    def set_link_delay(self, a_name: str, b_name: str, prop_delay_s: float) -> None:
+        """Override the propagation delay of the directed link ``a -> b``,
+        keeping :meth:`link_params` / :meth:`path_properties` consistent.
+        Call before the simulation starts: packets already in flight keep
+        the delay they departed with."""
+        if prop_delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        link = self.link_between(a_name, b_name)
+        link.prop_delay_s = prop_delay_s
+        bandwidth, _ = self._link_params[(a_name, b_name)]
+        self._link_params[(a_name, b_name)] = (bandwidth, prop_delay_s)
+
     def path_properties(self, src: str, dst: str, flow_id: int = 0) -> Tuple[int, float, float]:
         """Hop count, minimum bandwidth and total propagation delay of a path."""
         if self.routing is None:

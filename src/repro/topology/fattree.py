@@ -89,38 +89,35 @@ class FatTreeParams:
         return max(1, self.bdp_bytes() // mtu_bytes)
 
 
-def build_fat_tree(
-    sim: "Simulator",
-    params: Optional[FatTreeParams] = None,
-    switch_config: Optional[SwitchConfig] = None,
-) -> Network:
-    """Build a k-ary fat-tree :class:`Network`.
+def _add_fat_tree(
+    network: Network,
+    params: FatTreeParams,
+    switch_config: Optional[SwitchConfig],
+    prefix: str = "",
+    host_offset: int = 0,
+) -> List[str]:
+    """Wire one k-ary fat-tree into ``network`` and return its core switches.
 
-    Node naming scheme:
-
-    * hosts: ``h<i>`` for ``i`` in ``0 .. k^3/4 - 1``
-    * edge switches: ``edge_p<pod>_<j>``
-    * aggregation switches: ``agg_p<pod>_<j>``
-    * core switches: ``core_<i>``
+    Switch names gain ``prefix``; hosts are numbered from ``host_offset`` so
+    multiple trees on one network share a single global ``h<i>`` namespace
+    (workloads address hosts by index, not by datacenter).
     """
-    params = params or FatTreeParams()
-    network = Network(sim)
     k = params.k
     half = k // 2
 
     core_names: List[str] = []
     for i in range(params.num_core_switches):
-        name = f"core_{i}"
+        name = f"{prefix}core_{i}"
         network.add_switch(name, config=switch_config)
         core_names.append(name)
 
-    host_index = 0
+    host_index = host_offset
     for pod in range(k):
         agg_names = []
         edge_names = []
         for j in range(half):
-            agg = f"agg_p{pod}_{j}"
-            edge = f"edge_p{pod}_{j}"
+            agg = f"{prefix}agg_p{pod}_{j}"
+            edge = f"{prefix}edge_p{pod}_{j}"
             network.add_switch(agg, config=switch_config)
             network.add_switch(edge, config=switch_config)
             agg_names.append(agg)
@@ -146,6 +143,53 @@ def build_fat_tree(
                 core = core_names[j * half + c]
                 network.connect(agg, core, params.link_bandwidth_bps, params.link_delay_s)
 
+    return core_names
+
+
+def build_fat_tree(
+    sim: "Simulator",
+    params: Optional[FatTreeParams] = None,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Network:
+    """Build a k-ary fat-tree :class:`Network`.
+
+    Node naming scheme:
+
+    * hosts: ``h<i>`` for ``i`` in ``0 .. k^3/4 - 1``
+    * edge switches: ``edge_p<pod>_<j>``
+    * aggregation switches: ``agg_p<pod>_<j>``
+    * core switches: ``core_<i>``
+    """
+    params = params or FatTreeParams()
+    network = Network(sim)
+    _add_fat_tree(network, params, switch_config)
+    network.build_routing()
+    return network
+
+
+def build_inter_dc_fat_tree(
+    sim: "Simulator",
+    params: Optional[FatTreeParams] = None,
+    wan_delay_s: float = 1e-3,
+    switch_config: Optional[SwitchConfig] = None,
+) -> Network:
+    """Two k-ary fat-tree datacenters joined core-to-core by long-haul links.
+
+    Each DC is a full fat-tree with switch names prefixed ``dc0_`` / ``dc1_``;
+    hosts are numbered globally (``h0 .. h<N-1>`` in DC0, ``h<N> ..
+    h<2N-1>`` in DC1, ``N = k^3/4``).  The i-th core switch of DC0 connects
+    to the i-th core of DC1 at the fabric bandwidth but with ``wan_delay_s``
+    propagation -- 100-1000x the intra-DC hop -- so a cross-DC path is 7
+    hops: host-edge-agg-core, the WAN crossing, then core-agg-edge-host.
+    """
+    params = params or FatTreeParams()
+    network = Network(sim)
+    dc0_cores = _add_fat_tree(network, params, switch_config, prefix="dc0_")
+    dc1_cores = _add_fat_tree(
+        network, params, switch_config, prefix="dc1_", host_offset=params.num_hosts
+    )
+    for a, b in zip(dc0_cores, dc1_cores):
+        network.connect(a, b, params.link_bandwidth_bps, wan_delay_s)
     network.build_routing()
     return network
 
@@ -171,4 +215,26 @@ def _build_fat_tree_from_config(sim: "Simulator", config, switch_config) -> Netw
             link_delay_s=config.link_delay_s,
         ),
         switch_config,
+    )
+
+
+@register_topology(
+    "inter_dc_fattree",
+    # host-edge-agg-core + WAN crossing + core-agg-edge-host.
+    max_hop_count=7,
+    switch_radix=lambda config: config.fat_tree_k,
+    path_delay_s=lambda config: 6.0 * config.link_delay_s + config.wan_delay_s,
+    aliases=("inter_dc_fat_tree",),
+)
+def _build_inter_dc_fat_tree_from_config(sim: "Simulator", config, switch_config) -> Network:
+    """Registry adapter: two fat-tree DCs with a ``wan_delay_s`` long haul."""
+    return build_inter_dc_fat_tree(
+        sim,
+        FatTreeParams(
+            k=config.fat_tree_k,
+            link_bandwidth_bps=config.link_bandwidth_bps,
+            link_delay_s=config.link_delay_s,
+        ),
+        wan_delay_s=config.wan_delay_s,
+        switch_config=switch_config,
     )

@@ -46,19 +46,24 @@ def build_dumbbell(
     bottleneck_bps: Optional[float] = None,
     link_delay_s: float = 1e-6,
     switch_config: Optional[SwitchConfig] = None,
+    bottleneck_delay_s: Optional[float] = None,
 ) -> Network:
-    """Two switches joined by a (possibly slower) bottleneck link.
+    """Two switches joined by a (possibly slower, possibly longer) bottleneck.
 
     Left hosts are ``h0 .. h<n-1>`` on switch ``s0``; right hosts are
-    ``h<n> .. h<2n-1>`` on switch ``s1``.
+    ``h<n> .. h<2n-1>`` on switch ``s1``.  ``bottleneck_delay_s`` overrides
+    the propagation delay of the s0--s1 link only (the WAN case); ``None``
+    keeps the fabric homogeneous.
     """
     if hosts_per_side < 1:
         raise ValueError("need at least one host per side")
     bottleneck_bps = bottleneck_bps or bandwidth_bps
+    if bottleneck_delay_s is None:
+        bottleneck_delay_s = link_delay_s
     network = Network(sim)
     network.add_switch("s0", config=switch_config)
     network.add_switch("s1", config=switch_config)
-    network.connect("s0", "s1", bottleneck_bps, link_delay_s)
+    network.connect("s0", "s1", bottleneck_bps, bottleneck_delay_s)
     for i in range(hosts_per_side):
         name = f"h{i}"
         network.add_host(name)
@@ -132,6 +137,27 @@ def _build_dumbbell_from_config(sim: "Simulator", config, switch_config) -> Netw
         config.link_bandwidth_bps,
         link_delay_s=config.link_delay_s,
         switch_config=switch_config,
+    )
+
+
+@register_topology(
+    "wan_dumbbell",
+    max_hop_count=3,
+    switch_radix=4,
+    path_delay_s=lambda config: 2.0 * config.link_delay_s + config.wan_delay_s,
+)
+def _build_wan_dumbbell_from_config(sim: "Simulator", config, switch_config) -> Network:
+    """A dumbbell whose s0--s1 bottleneck is a long-haul link: host links keep
+    the intra-DC ``link_delay_s`` while the bottleneck carries ``wan_delay_s``
+    (1000x longer by default), the smallest fabric with the delay
+    heterogeneity that exercises the hierarchical calendar's upper levels."""
+    return build_dumbbell(
+        sim,
+        max(1, config.num_hosts // 2),
+        config.link_bandwidth_bps,
+        link_delay_s=config.link_delay_s,
+        switch_config=switch_config,
+        bottleneck_delay_s=config.wan_delay_s,
     )
 
 

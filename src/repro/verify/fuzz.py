@@ -53,7 +53,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.transport import Flow
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import _FlowLauncher
+from repro.experiments.runner import _FlowLauncher, bucket_width_for
 from repro.faults import (
     DegradedLink,
     FaultEngine,
@@ -128,6 +128,11 @@ class FuzzCase:
     #: the cross-core trace pin.
     ack_coalesce_n: int = 1
     ack_coalesce_us: float = 25.0
+    #: Heterogeneous per-link delays: when non-zero, every switch-switch
+    #: link is stretched to this propagation delay (100-1000x the host
+    #: links), pushing propagation-scale events into the hierarchical
+    #: calendar's upper levels.  0 keeps the fabric homogeneous.
+    wan_delay_s: float = 0.0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -271,6 +276,16 @@ class FuzzCase:
                     )
                 )
 
+        # Heterogeneous delays, also at seed-tail: about a third of the
+        # cases stretch every switch-switch link to WAN scale, exercising
+        # the hierarchical calendar's upper levels and the cross-width
+        # cascade/rebase paths against the same invariants.  (Star fabrics
+        # have no switch-switch links; the draw still happens so later
+        # seeds stay position-stable.)
+        wan_delay_s = 0.0
+        if rng.random() < 0.35:
+            wan_delay_s = delay * rng.choice((100.0, 1000.0))
+
         return cls(
             seed=seed,
             topology=topology,
@@ -288,6 +303,7 @@ class FuzzCase:
             host_attach=host_attach,
             ack_coalesce_n=ack_coalesce_n,
             ack_coalesce_us=ack_coalesce_us,
+            wan_delay_s=wan_delay_s,
         )
 
     def with_faults(self, *faults: Any) -> "FuzzCase":
@@ -305,6 +321,11 @@ class FuzzCase:
         the case carries its own flow list.
         """
         bdp = max(1, int(self.bandwidth_bps * 6 * self.link_delay_s / 8.0))
+        # WAN-stretched cases budget the long-haul RTT into the explicit
+        # RTOs (at most ~4 stretched hops each way on the fuzzed fabrics);
+        # homogeneous cases keep the exact pre-WAN values, so their seeds
+        # reproduce the same runs they always did.
+        wan = self.wan_delay_s
         return ExperimentConfig(
             name=f"fuzz-{self.seed}",
             topology="star",
@@ -315,8 +336,8 @@ class FuzzCase:
             buffer_bytes_per_port=self.buffer_bytes,
             transport=self.transport,
             mtu_bytes=self.mtu_bytes,
-            rto_low_s=100e-6,
-            rto_high_s=320e-6,
+            rto_low_s=100e-6 + 4.0 * wan,
+            rto_high_s=320e-6 + 8.0 * wan,
             bdp_cap_packets=max(2, bdp // self.mtu_bytes),
             congestion_control="none",
             workload="none",
@@ -346,14 +367,23 @@ class FuzzCase:
                 network.add_host(f"h{i}")
                 network.connect(f"h{i}", f"m{s}", self.bandwidth_bps, self.link_delay_s)
             network.build_routing()
-            return network
+            return self._stretch_fabric_links(network)
         from repro.topology import TOPOLOGIES
 
         builder = TOPOLOGIES.get(self.topology)
         shaped = config.with_overrides(
             topology=self.topology, ring_switches=self.ring_switches
         )
-        return builder.build(sim, shaped, switch_config)
+        return self._stretch_fabric_links(builder.build(sim, shaped, switch_config))
+
+    def _stretch_fabric_links(self, network: Network) -> Network:
+        """Apply the case's WAN stretch to every switch-switch link."""
+        if self.wan_delay_s:
+            for a in network.switches:
+                for b in network.adjacency[a]:
+                    if b in network.switches:
+                        network.set_link_delay(a, b, self.wan_delay_s)
+        return network
 
     def build_flows(self) -> List[Flow]:
         return [
@@ -373,6 +403,7 @@ class FuzzCase:
             "faults": [type(f).__name__ for f in self.faults],
             "ack_coalesce_n": self.ack_coalesce_n,
             "ack_coalesce_us": self.ack_coalesce_us,
+            "wan_delay_s": self.wan_delay_s,
         }
 
 
@@ -490,14 +521,18 @@ class CaseOutcome:
 
 def run_case(case: FuzzCase, queue: Optional[str] = None) -> CaseOutcome:
     """Execute ``case`` on the requested engine core."""
+    config = case.experiment_config()
+    # Bucket width comes from the shared derivation the experiment runner
+    # uses (the departure-batch quantum), not a fuzzer-private formula, so
+    # the fuzzed calendars are sized exactly like production ones.  Width
+    # only affects speed, never event order.
     sim = Simulator(
         seed=case.seed,
         queue=queue,
-        bucket_width_s=case.mtu_bytes * 8.0 / case.bandwidth_bps,
+        bucket_width_s=bucket_width_for(config),
     )
     trace = sim.enable_trace()
     network = case.build_network(sim)
-    config = case.experiment_config()
     collector = MetricsCollector(
         network,
         mtu_bytes=case.mtu_bytes,

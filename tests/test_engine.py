@@ -404,14 +404,30 @@ class TestMassCancellationMemory:
 class TestCalendarStructure:
     """Calendar-core specifics: window rotation, overflow band, wheel."""
 
-    def test_overflow_band_migrates_into_buckets(self):
-        # 8 buckets x 1us window: events at 100..140us start in the overflow
-        # band and must migrate into buckets as the window rotates onto them.
+    def test_past_window_events_land_in_upper_levels(self):
+        # 8 buckets x 1us window: events at 100..140us fall past the level-0
+        # window but inside the upper levels' horizons, so the hierarchy --
+        # not the far-future heap -- absorbs them, and they cascade back
+        # down in exact time order.
         sim = Simulator(queue="calendar", bucket_width_s=1e-6, num_buckets=8)
         ran = []
         for i in range(40, 0, -1):
             sim.schedule(100e-6 + i * 1e-6, ran.append, i)
-        assert len(sim._overflow) > 0
+        assert sum(sim._hi_counts) == 40
+        assert not sim._overflow
+        sim.run_until_idle()
+        assert ran == list(range(1, 41))
+
+    def test_single_level_keeps_legacy_overflow_band(self):
+        # num_levels=1 is the pre-hierarchy calendar: everything past the
+        # one window parks in the overflow heap and migrates at rebase.
+        sim = Simulator(
+            queue="calendar", bucket_width_s=1e-6, num_buckets=8, num_levels=1
+        )
+        ran = []
+        for i in range(40, 0, -1):
+            sim.schedule(100e-6 + i * 1e-6, ran.append, i)
+        assert len(sim._overflow) == 40
         sim.run_until_idle()
         assert ran == list(range(1, 41))
 
@@ -505,6 +521,165 @@ class TestCalendarStructure:
             Simulator(queue="calendar", wheel_slot_s=-1e-6)
         with pytest.raises(ValueError):
             Simulator(queue="calendar", num_buckets=0)
+
+
+class TestHierarchicalCalendar:
+    """Multi-level specifics: cascade, per-level cancellation, rebase.
+
+    8 buckets x 1us level-0 quantum gives horizons of 8us (level 0), 64us
+    (level 1) and 512us (level 2) -- small enough that every band is easy
+    to hit deliberately.
+    """
+
+    def _sim(self, **kwargs):
+        kwargs.setdefault("queue", "calendar")
+        kwargs.setdefault("bucket_width_s", 1e-6)
+        kwargs.setdefault("num_buckets", 8)
+        kwargs.setdefault("num_levels", 3)
+        return Simulator(**kwargs)
+
+    def test_insertion_routes_to_the_right_band(self):
+        sim = self._sim()
+        sim.schedule(2e-6, lambda: None)      # level 0
+        sim.schedule(20e-6, lambda: None)     # level 1
+        sim.schedule(100e-6, lambda: None)    # level 2
+        sim.schedule(1e-3, lambda: None)      # beyond level 2: far future
+        assert sim._num_bucketed == 1
+        assert sim._hi_counts[1] == 1
+        assert sim._hi_counts[2] == 1
+        assert len(sim._overflow) == 1
+        assert sim.pending_events == 4
+        sim.run_until_idle()
+        assert sim.events_processed == 4
+        assert sim.pending_events == 0
+
+    def test_cascade_preserves_order_across_levels(self):
+        sim = self._sim()
+        ran = []
+        # Interleave events whose initial homes span all three levels plus
+        # the far-future band; execution must still be globally sorted.
+        times = [2e-6, 20e-6, 100e-6, 1e-3, 5e-6, 60e-6, 400e-6, 2e-3]
+        for t in times:
+            sim.schedule(t, ran.append, t)
+        sim.run_until_idle()
+        assert ran == sorted(times)
+
+    def test_cascade_observed_mid_run(self):
+        sim = self._sim()
+        seen = {}
+        # 100..140us all start in level 2 (their level-1 indices are past
+        # level 1's initial window); by the time the first one executes, the
+        # chain level2 -> level1 -> level0 must have partially drained the
+        # top while leaving later slots up there.
+        for i in range(41):
+            sim.schedule(100e-6 + i * 1e-6, lambda: None)
+
+        def probe():
+            seen["counts"] = (sim._num_bucketed, sim._hi_counts[1], sim._hi_counts[2])
+
+        assert sim._hi_counts[2] == 41
+        sim.schedule(100e-6, probe)
+        sim.run_until_idle()
+        bucketed, lvl1, lvl2 = seen["counts"]
+        assert lvl2 > 0, "level 2 should still hold the far slots"
+        assert lvl1 > 0, "level 1 should hold the cascaded middle"
+        assert sim.events_processed == 42
+
+    def test_cancellation_discards_at_every_level(self):
+        sim = self._sim()
+        ran = []
+        victims = [
+            sim.schedule(2e-6, ran.append, "l0"),       # level-0 bucket
+            sim.schedule(20e-6, ran.append, "l1"),      # level 1
+            sim.schedule(100e-6, ran.append, "l2"),     # level 2
+            sim.schedule(1e-3, ran.append, "far"),      # far-future heap
+            sim.set_timer(200e-6, ran.append, "wheel"),  # timer wheel
+        ]
+        for victim in victims:
+            sim.cancel(victim)
+        sim.schedule(2e-3, ran.append, "end")
+        sim.run_until_idle()
+        assert ran == ["end"]
+        assert sim.events_cancelled == 5
+        assert sim.events_scheduled == (
+            sim.events_processed + sim.events_cancelled + sim.pending_events
+        )
+
+    def test_rebase_places_far_events_directly_at_their_level(self):
+        sim = self._sim()
+        seen = {}
+
+        def probe():
+            seen["state"] = (
+                sim._num_bucketed,
+                sim._hi_counts[1],
+                sim._hi_counts[2],
+                len(sim._overflow),
+            )
+
+        # All four start in the far-future heap (past level 2's initial
+        # horizon).  The rebase onto the 1000us head must distribute each
+        # directly: head+5us to level 0, head+70us past the rebased level-1
+        # window into level 2, and 10s stays in the heap.
+        sim.schedule(1000e-6, probe)
+        sim.schedule(1005e-6, lambda: None)
+        sim.schedule(1070e-6, lambda: None)
+        sim.schedule(10.0, lambda: None)
+        assert len(sim._overflow) == 4
+        sim.run_until_idle()
+        bucketed, lvl1, lvl2, far = seen["state"]
+        assert bucketed == 1      # 1005us, in its own level-0 bucket
+        assert lvl2 == 1          # 1070us went straight to level 2
+        assert far == 1           # 10s is genuinely far-future
+        assert sim.events_processed == 4
+        assert sim.now == pytest.approx(10.0)
+
+    def test_order_identity_across_level_counts(self):
+        # The level count is a pure structure knob: 1, 2 and 3 levels must
+        # execute one mixed-horizon stream in the identical order.
+        def drive(num_levels):
+            sim = Simulator(
+                queue="calendar",
+                bucket_width_s=1e-6,
+                num_buckets=8,
+                num_levels=num_levels,
+            )
+            order = []
+            for i in range(60):
+                t = (i * 37 % 11) * 53e-6 + i * 1e-7
+                sim.schedule(t, order.append, (round(t * 1e9), i))
+                if i % 3 == 0:
+                    dead = sim.set_timer(t + 400e-6, order.append, ("dead", i))
+                    sim.cancel(dead)
+            sim.run_until_idle()
+            return order, sim.events_processed, sim.events_cancelled
+
+        reference = drive(1)
+        assert drive(2) == reference
+        assert drive(3) == reference
+
+    def test_invalid_num_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(queue="calendar", num_levels=0)
+
+    @pytest.mark.parametrize("num_levels", [1, 3])
+    def test_wheel_flush_at_exact_slot_boundary(self, num_levels):
+        # A timer whose due time is exactly a wheel-slot boundary, with
+        # every calendar band empty, forces the wheel-only flush branch.
+        # Judging due-ness via int(time * inv_wheel) can round one slot
+        # low at such boundaries (slot/inv * inv round-trips below slot),
+        # leaving the due head unflushed and the engine spinning; the
+        # flush must use the same division that computed the deadline.
+        sim = Simulator(queue="calendar", num_levels=num_levels)
+        inv = sim._inv_wheel
+        slot = next(
+            s for s in range(1, 1_000_000) if int((s / inv) * inv) < s
+        )
+        ran = []
+        sim.set_timer_at(slot / inv, ran.append, "boundary")
+        sim.run_until_idle()
+        assert ran == ["boundary"]
+        assert sim.pending_events == 0
 
 
 class TestHeapCompaction:

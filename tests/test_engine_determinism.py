@@ -147,6 +147,47 @@ class TestCoalescingMatrix:
             assert row == reference, f"{queue} diverged at ack_coalesce_n={ack_n}"
 
 
+class TestWanMatrix:
+    """WAN-scenario ResultRows pin byte-identical across every core.
+
+    Propagation-dominated fabrics are what the hierarchical calendar was
+    built for: with 100-1000x delay heterogeneity most packet arrivals
+    land beyond the level-0 window, so these cells exercise the upper
+    calendar levels, cascade/rebase and the wheel-boundary flush on every
+    core -- none of which the homogeneous figure cells reach.  Both
+    presets collect c-latency ratios, so the new conditional digest
+    payload is pinned across cores too.
+    """
+
+    def test_wan_incast_cells_identical_across_cores(self, monkeypatch):
+        for label, config in _scaled_cells("wan_incast", seed=1).items():
+            rows = {
+                queue: _row_for(config, queue, monkeypatch)
+                for queue in _all_cores()
+            }
+            reference = rows.pop("heap")
+            assert reference["c_latency_digest"] is not None
+            for queue, row in rows.items():
+                assert row == reference, f"{label} diverged on {queue}"
+
+    def test_cross_dc_cell_identical_across_cores(self, monkeypatch):
+        """The inter-DC fat-tree at 1000x heterogeneity -- the cell that
+        drains every calendar band and leaves only wheel timers pending,
+        the regime the slot-boundary flush fix exists for."""
+        cells = _scaled_cells("cross_dc", num_flows=60, seed=2)
+        label = next(
+            name for name in cells if "IRN" in name and "1000x" in name
+        )
+        config = cells[label]
+        rows = {
+            queue: _row_for(config, queue, monkeypatch)
+            for queue in _all_cores()
+        }
+        reference = rows.pop("heap")
+        for queue, row in rows.items():
+            assert row == reference, f"{label} diverged on {queue}"
+
+
 class TestFaultMatrix:
     """Fault-enabled ResultRows pin byte-identical across every core.
 
